@@ -1,0 +1,123 @@
+//! FPGA device capacities and utilization analysis.
+//!
+//! The paper's motivation (§I) is that LSQ-dominated designs "must reserve
+//! significant space … making them incompatible with edge devices that have
+//! limited resources". This module makes that argument quantitative: price
+//! a design, pick a device, and ask how many accelerator instances fit —
+//! or whether the design fits at all.
+
+use crate::model::Resources;
+
+/// Logic capacity of an FPGA device (the resources the area model prices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Available LUTs.
+    pub luts: u64,
+    /// Available flip-flops.
+    pub ffs: u64,
+}
+
+impl Device {
+    /// The paper's evaluation part: Kintex-7 `xc7k160tfbg484-2`.
+    pub const XC7K160T: Device = Device {
+        name: "xc7k160t",
+        luts: 101_400,
+        ffs: 202_800,
+    };
+
+    /// A representative edge-class part: Artix-7 `xc7a35t` (Arty A7-35).
+    pub const XC7A35T: Device = Device {
+        name: "xc7a35t",
+        luts: 20_800,
+        ffs: 41_600,
+    };
+
+    /// A mid-range edge part: Artix-7 `xc7a100t`.
+    pub const XC7A100T: Device = Device {
+        name: "xc7a100t",
+        luts: 63_400,
+        ffs: 126_800,
+    };
+
+    /// Fraction of the device's LUTs a design consumes (can exceed 1.0).
+    pub fn lut_utilization(&self, r: Resources) -> f64 {
+        r.luts as f64 / self.luts as f64
+    }
+
+    /// Does the design fit within a routable budget? Practical designs
+    /// rarely route above ~80 % LUT utilization, so that is the default
+    /// criterion.
+    pub fn fits(&self, r: Resources) -> bool {
+        self.fits_with_margin(r, 0.8)
+    }
+
+    /// Fit check with an explicit utilization ceiling.
+    pub fn fits_with_margin(&self, r: Resources, ceiling: f64) -> bool {
+        (r.luts as f64) <= self.luts as f64 * ceiling
+            && (r.ffs as f64) <= self.ffs as f64 * ceiling
+    }
+
+    /// How many independent instances of the design fit (at the 80 %
+    /// ceiling) — the paper's scalability-for-larger-circuits argument in
+    /// one number.
+    pub fn instances(&self, r: Resources) -> u64 {
+        if r.luts == 0 && r.ffs == 0 {
+            return u64::MAX;
+        }
+        let by_lut = if r.luts == 0 {
+            u64::MAX
+        } else {
+            (self.luts as f64 * 0.8 / r.luts as f64) as u64
+        };
+        let by_ff = if r.ffs == 0 {
+            u64::MAX
+        } else {
+            (self.ffs as f64 * 0.8 / r.ffs as f64) as u64
+        };
+        by_lut.min(by_ff)
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} LUT / {} FF)", self.name, self.luts, self.ffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_fit() {
+        let d = Device::XC7K160T;
+        let small = Resources::new(10_000, 20_000, 0);
+        assert!(d.fits(small));
+        assert!((d.lut_utilization(small) - 10_000.0 / 101_400.0).abs() < 1e-12);
+        let huge = Resources::new(95_000, 10_000, 0);
+        assert!(!d.fits(huge), "95k LUTs exceeds the 80% routable budget");
+        assert!(d.fits_with_margin(huge, 0.99));
+    }
+
+    #[test]
+    fn instance_counting() {
+        let d = Device::XC7A35T; // 20.8k LUTs
+        let design = Resources::new(5_000, 3_000, 0);
+        assert_eq!(d.instances(design), 3);
+        assert_eq!(d.instances(Resources::zero()), u64::MAX);
+    }
+
+    #[test]
+    fn edge_device_cannot_hold_an_lsq_design() {
+        // The motivation in one assertion: a Dynamatic-with-LSQ kernel
+        // (~20k LUTs) does not fit an Artix-7 35T at all, while the PreVV16
+        // version (~5-10k) does.
+        let lsq_design = Resources::new(19_000, 5_400, 270);
+        let prevv_design = Resources::new(8_000, 2_300, 120);
+        let edge = Device::XC7A35T;
+        assert!(!edge.fits(lsq_design));
+        assert!(edge.fits(prevv_design));
+    }
+}

@@ -1,0 +1,39 @@
+//! # prevv-area — FPGA resource and clock-period models
+//!
+//! Analytic LUT/FF/mux and timing estimation for dataflow circuits with
+//! LSQ or PreVV disambiguation, replacing Vivado synthesis per the
+//! substitution policy of DESIGN.md. Constants are calibrated against the
+//! paper's published Kintex-7 numbers (see [`calib`] for provenance); the
+//! model is built for *relative* fidelity — which design wins and by what
+//! rough factor — not absolute gate counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use prevv_area::{estimate, ControllerKind};
+//! use prevv_ir::synthesize;
+//! use prevv_kernels::paper;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = synthesize(&paper::polyn_mult(8))?;
+//! let lsq = estimate(&circuit, ControllerKind::FastLsq { depth: 16 });
+//! let prevv = estimate(&circuit, ControllerKind::Prevv { depth: 16, pair_reduction: true });
+//! assert!(prevv.total().luts < lsq.total().luts);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod device;
+mod estimate;
+mod model;
+
+pub use estimate::{
+    ambiguous_array_count, clock_period_ns, controller_cost, datapath_cost, datapath_cost_of,
+    estimate, lsq_instance_cost, prevv_instance_cost, ControllerKind, DesignReport,
+};
+pub use device::Device;
+pub use model::{CircuitInventory, Resources};

@@ -1,0 +1,29 @@
+//! Compiler-side benches: golden interpretation, dependence analysis, and
+//! synthesis of the paper kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prevv::ir::{depend, golden, synthesize};
+use prevv::kernels::paper;
+
+fn bench_golden(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_execute");
+    for spec in paper::all_default() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(spec.name.clone()),
+            &spec,
+            |b, spec| b.iter(|| golden::execute(spec)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_analysis_and_synthesis(c: &mut Criterion) {
+    let spec = paper::mm3(paper::default_sizes::MM);
+    c.bench_function("depend_analyze/3mm", |b| b.iter(|| depend::analyze(&spec)));
+    c.bench_function("synthesize/3mm", |b| {
+        b.iter(|| synthesize(&spec).expect("synthesizes"))
+    });
+}
+
+criterion_group!(benches, bench_golden, bench_analysis_and_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end controller comparison benches: full kernel simulations under
+//! the LSQ baselines and PreVV — the wall-clock cost of regenerating one
+//! Table II cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prevv::kernels::{extra, paper};
+use prevv::{run_kernel, Controller, PrevvConfig};
+
+fn bench_histogram(c: &mut Criterion) {
+    let spec = extra::histogram(96, 8, 7);
+    let mut g = c.benchmark_group("histogram96");
+    g.sample_size(20);
+    for (name, ctrl) in [
+        ("dynamatic16", Controller::Dynamatic { depth: 16 }),
+        ("fast_lsq16", Controller::FastLsq { depth: 16 }),
+        ("prevv16", Controller::Prevv(PrevvConfig::prevv16())),
+        ("prevv64", Controller::Prevv(PrevvConfig::prevv64())),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ctrl, |b, ctrl| {
+            b.iter(|| {
+                let r = run_kernel(&spec, ctrl.clone()).expect("runs");
+                assert!(r.matches_golden);
+                r.report.cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_paper_kernels_prevv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_prevv16");
+    g.sample_size(10);
+    for spec in [paper::polyn_mult(10), paper::gaussian(6), paper::triangular(6)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(spec.name.clone()),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    run_kernel(spec, Controller::Prevv(PrevvConfig::prevv16()))
+                        .expect("runs")
+                        .report
+                        .cycles
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_histogram, bench_paper_kernels_prevv);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Ablation experiments beyond the paper's tables:
+//!
+//! * `depth-sweep` — `depth_q` vs. cycles/LUTs/stalls (paper §V-A sizing);
+//! * `deadlock`    — fake tokens on/off (paper §V-C);
+//! * `scalability` — shared PreVV vs. naive per-pair replication (paper
+//!   §V-B, Eq. 11–12);
+//! * `forwarding`  — queue bypass vs. pure squash-on-mismatch;
+//! * `all`         — everything.
+//!
+//! Run with `cargo run --release -p prevv-bench --bin ablation -- <which>`.
+
+use prevv_bench::experiments::{
+    bandwidth_sweep, deadlock_demo, depth_sweep, forwarding_ablation, scalability,
+};
+use prevv_bench::table::TextTable;
+use prevv::kernels::{extra, paper};
+use prevv::prevv_core_crate::sizing::PairTiming;
+
+fn run_depth_sweep() {
+    println!("== depth_q sweep (paper §V-A) ==\n");
+    for spec in [extra::histogram(96, 6, 9), paper::polyn_mult(12)] {
+        println!("kernel: {}", spec.name);
+        let depths = [2, 4, 8, 16, 32, 64, 128];
+        let pts = depth_sweep(&spec, &depths).expect("sweep runs");
+        let mut t = TextTable::new(&[
+            "depth_q",
+            "cycles",
+            "LUTs",
+            "squashes",
+            "full-stalls",
+            "high-water",
+        ]);
+        for p in &pts {
+            t.row(&[
+                p.depth.to_string(),
+                p.cycles.to_string(),
+                p.luts.to_string(),
+                p.squashes.to_string(),
+                p.queue_full_stalls.to_string(),
+                p.high_water.to_string(),
+            ]);
+        }
+        println!("{t}");
+        // The §V-A analytic recommendation, using measured squash rates.
+        let best = pts.iter().min_by_key(|p| p.cycles).expect("non-empty");
+        let iters = spec.iteration_count() as f64;
+        let timing = PairTiming {
+            t_org: best.cycles as f64 / iters,
+            squash_probability: best.squashes as f64 / iters,
+            t_token: best.cycles as f64 / iters * 8.0,
+        };
+        println!(
+            "matched-depth model (Eq. 6-7) recommends depth ≈ {} (empirical best: {})\n",
+            timing.matched_depth(),
+            best.depth
+        );
+    }
+}
+
+fn run_deadlock() {
+    println!("== fake-token deadlock elimination (paper §V-C) ==\n");
+    let d = deadlock_demo().expect("demo runs");
+    println!(
+        "with fake tokens:    completes in {} cycles ({} fake tokens sent)",
+        d.with_fakes_cycles, d.fakes
+    );
+    println!("without fake tokens: {}", d.without_fakes);
+}
+
+fn run_scalability() {
+    println!("== scalability: shared PreVV vs naive per-pair (paper §V-B, Eq. 11-12) ==\n");
+    let rows = scalability(&[1, 2, 3, 4, 6, 8]).expect("prices");
+    let mut t = TextTable::new(&[
+        "loads/store",
+        "pairs",
+        "shared LUT",
+        "naive LUT",
+        "blow-up",
+        "shared CP",
+        "naive CP",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.width.to_string(),
+            r.pairs.to_string(),
+            r.shared_luts.to_string(),
+            r.naive_luts.to_string(),
+            format!("{:.2}x", r.naive_luts as f64 / r.shared_luts as f64),
+            format!("{:.2}", r.shared_cp),
+            format!("{:.2}", r.naive_cp),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn run_forwarding() {
+    println!("== queue bypass (forwarding) ablation ==\n");
+    let mut t = TextTable::new(&[
+        "kernel",
+        "bypass cycles",
+        "bypass squashes",
+        "pure cycles",
+        "pure squashes",
+    ]);
+    for spec in [
+        extra::serial_reduction(64),
+        extra::histogram(96, 4, 11),
+        paper::polyn_mult(10),
+    ] {
+        let a = forwarding_ablation(&spec).expect("runs");
+        t.row(&[
+            spec.name.clone(),
+            a.bypass_cycles.to_string(),
+            a.bypass_squashes.to_string(),
+            a.pure_cycles.to_string(),
+            a.pure_squashes.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn run_bandwidth() {
+    println!("== memory port bandwidth (PreVV64) ==\n");
+    let mut t = TextTable::new(&["kernel", "R/W ports", "cycles"]);
+    for spec in [paper::polyn_mult(12), paper::mm2(6)] {
+        for p in bandwidth_sweep(&spec).expect("sweeps") {
+            t.row(&[
+                spec.name.clone(),
+                format!("{}R/{}W", p.read_ports, p.write_ports),
+                p.cycles.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "depth-sweep" => run_depth_sweep(),
+        "deadlock" => run_deadlock(),
+        "scalability" => run_scalability(),
+        "forwarding" => run_forwarding(),
+        "bandwidth" => run_bandwidth(),
+        "all" => {
+            run_depth_sweep();
+            run_deadlock();
+            println!();
+            run_scalability();
+            run_forwarding();
+            run_bandwidth();
+        }
+        other => {
+            eprintln!("unknown ablation `{other}`; use depth-sweep | deadlock | scalability | forwarding | bandwidth | all");
+            std::process::exit(1);
+        }
+    }
+}

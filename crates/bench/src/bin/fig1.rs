@@ -1,0 +1,54 @@
+//! Regenerates the paper's **Fig. 1**: LSQ resource share in Dynamatic
+//! circuits (the motivation — more than 80% of LUTs/FFs/muxes go to the
+//! LSQ, computation gets less than 20%).
+//!
+//! Run with `cargo run --release -p prevv-bench --bin fig1`.
+
+use prevv_bench::experiments::fig1;
+use prevv_bench::paper_data::FIG1_LSQ_SHARE;
+use prevv_bench::table::TextTable;
+
+fn main() {
+    println!("== Fig. 1: LSQ resource usage in Dynamatic [15] designs ==\n");
+    let rows = match fig1() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "LSQ LUT",
+        "LSQ FF",
+        "LSQ mux",
+        "calc LUT",
+        "calc FF",
+        "LSQ share (LUT)",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            r.lsq.luts.to_string(),
+            r.lsq.ffs.to_string(),
+            r.lsq.muxes.to_string(),
+            r.datapath.luts.to_string(),
+            r.datapath.ffs.to_string(),
+            format!("{:.1}%", r.lut_share * 100.0),
+        ]);
+    }
+    println!("{t}");
+    let min = rows
+        .iter()
+        .map(|r| r.lut_share)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "paper's claim: LSQ > {:.0}% of resources; measured minimum share: {:.1}%",
+        FIG1_LSQ_SHARE * 100.0,
+        min * 100.0
+    );
+    if min <= FIG1_LSQ_SHARE {
+        eprintln!("WARNING: a benchmark fell below the paper's 80% claim");
+        std::process::exit(2);
+    }
+}

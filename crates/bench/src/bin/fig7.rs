@@ -1,0 +1,55 @@
+//! Regenerates the paper's **Fig. 7**: resource usage of \[8\], PreVV16 and
+//! PreVV64 normalized to plain Dynamatic \[15\] (LUT solid / FF dashed in the
+//! paper; here two normalized series plus a text sparkline).
+//!
+//! Run with `cargo run --release -p prevv-bench --bin fig7`.
+
+use prevv_bench::experiments::evaluate_grid;
+use prevv_bench::paper_data::BENCHMARKS;
+use prevv_bench::table::TextTable;
+
+fn bar(frac: f64) -> String {
+    let width = (frac * 30.0).round().clamp(0.0, 60.0) as usize;
+    format!("{:5.2} {}", frac, "#".repeat(width))
+}
+
+fn main() {
+    println!("== Fig. 7: resources normalized to Dynamatic [15] ==\n");
+    let points = match evaluate_grid() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let get = |kernel: &str, config: &str| {
+        points
+            .iter()
+            .find(|p| p.kernel == kernel && p.config == config)
+            .expect("grid point")
+    };
+
+    for metric in ["LUT", "FF"] {
+        println!("--- normalized {metric} ---");
+        let mut t = TextTable::new(&["benchmark", "[8]", "PreVV16", "PreVV64"]);
+        for &bench in &BENCHMARKS {
+            let base = get(bench, "[15]").resources;
+            let pick = |cfg: &str| {
+                let r = get(bench, cfg).resources;
+                let (num, den) = match metric {
+                    "LUT" => (r.luts, base.luts),
+                    _ => (r.ffs, base.ffs),
+                };
+                num as f64 / den as f64
+            };
+            t.row(&[
+                bench.to_string(),
+                bar(pick("[8]")),
+                bar(pick("PreVV16")),
+                bar(pick("PreVV64")),
+            ]);
+        }
+        println!("{t}");
+    }
+    println!("(paper shape: PreVV16 lowest, PreVV64 between PreVV16 and [8], all below [15] on LSQ-heavy kernels)");
+}

@@ -1,0 +1,168 @@
+//! `reproduce` — one command that re-derives every headline claim of the
+//! paper and **fails loudly** if any stops holding. CI for the reproduction
+//! itself: run it after any change to the simulator, the controllers, or
+//! the area model.
+//!
+//! ```text
+//! cargo run --release -p prevv-bench --bin reproduce
+//! ```
+
+use prevv_bench::experiments::{deadlock_demo, evaluate_grid, fig1};
+use prevv_bench::paper_data::{BENCHMARKS, FIG1_LSQ_SHARE};
+use prevv_bench::{geomean, pct};
+use prevv::RunError;
+
+struct Checks {
+    passed: usize,
+    failed: usize,
+}
+
+impl Checks {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            self.passed += 1;
+            println!("PASS  {name}: {detail}");
+        } else {
+            self.failed += 1;
+            println!("FAIL  {name}: {detail}");
+        }
+    }
+}
+
+fn main() {
+    let mut c = Checks {
+        passed: 0,
+        failed: 0,
+    };
+    println!("== reproducing the paper's headline claims ==\n");
+
+    // --- Fig. 1: LSQ dominance --------------------------------------------
+    let rows = fig1().expect("fig1 computes");
+    let min_share = rows
+        .iter()
+        .map(|r| r.lut_share)
+        .fold(f64::INFINITY, f64::min);
+    c.check(
+        "fig1.lsq_dominates",
+        min_share > FIG1_LSQ_SHARE,
+        format!("minimum LSQ LUT share {:.1}% (paper: >80%)", min_share * 100.0),
+    );
+
+    // --- Tables I & II ------------------------------------------------------
+    let grid = evaluate_grid().expect("grid runs");
+    let all_correct = grid.iter().all(|p| p.matches_golden);
+    c.check(
+        "grid.correctness",
+        all_correct,
+        format!("{} kernel×config points vs golden", grid.len()),
+    );
+    let get = |kernel: &str, config: &str| {
+        grid.iter()
+            .find(|p| p.kernel == kernel && p.config == config)
+            .expect("grid point")
+    };
+
+    // Table I: PreVV16/64 beat [8] on LUTs and FFs everywhere.
+    let mut lut16 = Vec::new();
+    let mut lut64 = Vec::new();
+    let mut ff16 = Vec::new();
+    let mut ff64 = Vec::new();
+    let mut per_kernel_ok = true;
+    for &b in &BENCHMARKS {
+        let base = get(b, "[8]").resources;
+        let p16 = get(b, "PreVV16").resources;
+        let p64 = get(b, "PreVV64").resources;
+        per_kernel_ok &= p16.luts < base.luts && p64.luts < base.luts;
+        per_kernel_ok &= p16.ffs < base.ffs && p64.ffs < base.ffs;
+        per_kernel_ok &= p16.luts < p64.luts;
+        lut16.push(p16.luts as f64 / base.luts as f64);
+        lut64.push(p64.luts as f64 / base.luts as f64);
+        ff16.push(p16.ffs as f64 / base.ffs as f64);
+        ff64.push(p64.ffs as f64 / base.ffs as f64);
+    }
+    c.check(
+        "table1.per_kernel_ordering",
+        per_kernel_ok,
+        "PreVV16 < PreVV64 < [8] on LUTs and FFs for every kernel".into(),
+    );
+    let g16 = geomean(lut16.iter().copied());
+    let g64 = geomean(lut64.iter().copied());
+    c.check(
+        "table1.lut_geomeans",
+        (0.30..0.75).contains(&g16) && (0.50..0.90).contains(&g64) && g16 < g64,
+        format!(
+            "LUT geomean: PreVV16 {} PreVV64 {} (paper: -43.75% / -26.45%)",
+            pct(g16),
+            pct(g64)
+        ),
+    );
+    let f16 = geomean(ff16.iter().copied());
+    let f64g = geomean(ff64.iter().copied());
+    c.check(
+        "table1.ff_geomeans",
+        f16 < f64g && f64g < 1.0,
+        format!(
+            "FF geomean: PreVV16 {} PreVV64 {} (paper: -44.70% / -33.54%)",
+            pct(f16),
+            pct(f64g)
+        ),
+    );
+
+    // Table II: PreVV16 pays cycles; PreVV64 wins execution time vs [8].
+    let e16 = geomean(
+        BENCHMARKS
+            .iter()
+            .map(|&b| get(b, "PreVV16").exec_us / get(b, "[8]").exec_us),
+    );
+    let e64 = geomean(
+        BENCHMARKS
+            .iter()
+            .map(|&b| get(b, "PreVV64").exec_us / get(b, "[8]").exec_us),
+    );
+    c.check(
+        "table2.prevv16_pays_cycles",
+        e16 > 1.0 && e16 < 1.6,
+        format!("PreVV16 exec time vs [8]: {} (paper ≈ +11% cycles)", pct(e16)),
+    );
+    c.check(
+        "table2.prevv64_wins",
+        e64 < 1.0,
+        format!("PreVV64 exec time vs [8]: {} (paper -2.64%)", pct(e64)),
+    );
+    let cp_ok = BENCHMARKS.iter().all(|&b| {
+        get(b, "PreVV16").cp_ns < get(b, "[8]").cp_ns
+            && get(b, "PreVV64").cp_ns < get(b, "[8]").cp_ns
+    });
+    c.check(
+        "table2.clock_period",
+        cp_ok,
+        "PreVV CP below the LSQ's on every kernel (no associative search)".into(),
+    );
+
+    // --- §V-C: fake tokens --------------------------------------------------
+    match deadlock_demo() {
+        Ok(d) => {
+            let deadlocked = matches!(
+                d.without_fakes,
+                RunError::Sim(prevv::SimError::Deadlock { .. })
+            );
+            c.check(
+                "sec5c.fake_tokens",
+                d.fakes > 0 && deadlocked,
+                format!(
+                    "with fakes: {} cycles / {} fakes; without: {}",
+                    d.with_fakes_cycles, d.fakes, d.without_fakes
+                ),
+            );
+        }
+        Err(e) => c.check("sec5c.fake_tokens", false, format!("demo failed: {e}")),
+    }
+
+    println!(
+        "\n{} checks passed, {} failed",
+        c.passed, c.failed
+    );
+    if c.failed > 0 {
+        std::process::exit(1);
+    }
+}

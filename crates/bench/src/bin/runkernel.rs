@@ -1,0 +1,222 @@
+//! `runkernel` — the reproduction as a command-line tool: parse a kernel
+//! source file (see `prevv_ir::parse` for the language), synthesize it,
+//! attach a disambiguation controller, simulate, verify against the golden
+//! model, and report resources/timing. Optionally dump the circuit as
+//! Graphviz DOT and the memory-port activity as a VCD waveform.
+//!
+//! ```text
+//! cargo run --release -p prevv-bench --bin runkernel -- \
+//!     kernels/histogram.pvk --controller prevv16 --dot /tmp/c.dot --vcd /tmp/c.vcd
+//! ```
+//!
+//! Controllers: `direct`, `dynamatic16`, `fast16`, `prevv<depth>` (e.g.
+//! `prevv16`, `prevv64`, `prevv32`).
+
+use prevv::dataflow::trace::{to_vcd, TraceRecorder};
+use prevv::dataflow::{viz, SimConfig, Simulator};
+use prevv::{Controller, Lsq, LsqConfig, MemTiming, PrevvConfig, PrevvMemory};
+
+struct Args {
+    path: String,
+    controller: Controller,
+    dot: Option<String>,
+    vcd: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: runkernel <file.pvk> [--controller direct|dynamatic16|fast16|prevv<depth>] \
+         [--dot <out.dot>] [--vcd <out.vcd>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut controller = Controller::Prevv(PrevvConfig::prevv16());
+    let mut dot = None;
+    let mut vcd = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--controller" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                controller = match v.as_str() {
+                    "direct" => Controller::Direct,
+                    "dynamatic16" => Controller::Dynamatic { depth: 16 },
+                    "fast16" => Controller::FastLsq { depth: 16 },
+                    other => match other.strip_prefix("prevv").and_then(|d| d.parse().ok()) {
+                        Some(depth) => Controller::Prevv(PrevvConfig::with_depth(depth)),
+                        None => usage(),
+                    },
+                };
+            }
+            "--dot" => dot = Some(args.next().unwrap_or_else(|| usage())),
+            "--vcd" => vcd = Some(args.next().unwrap_or_else(|| usage())),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    Args {
+        path: path.unwrap_or_else(|| usage()),
+        controller,
+        dot,
+        vcd,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let source = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.path);
+            std::process::exit(1);
+        }
+    };
+    let name = std::path::Path::new(&args.path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kernel");
+    let spec = match prevv::ir::parse::parse_kernel(name, &source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!("parsed `{name}`:\n{}", prevv::ir::pretty::render(&spec));
+
+    let mut synth = match prevv::ir::synthesize(&spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let deps = &synth.deps;
+    println!(
+        "{} memory ops/iteration, {} ambiguous pair(s), {} iterations\n",
+        spec.mem_ops_per_iter(),
+        deps.pairs.len(),
+        spec.iteration_count()
+    );
+
+    // Watch memory-port channels if a VCD was requested.
+    let watch: Vec<_> = synth
+        .interface
+        .ports
+        .iter()
+        .flat_map(|p| {
+            let mut v = vec![p.addr_in];
+            v.extend(p.data_out);
+            v
+        })
+        .collect();
+
+    let controller_name = args.controller.name();
+    let design = args
+        .controller
+        .area_kind()
+        .map(|k| prevv::area::estimate(&synth, k));
+    let ram = match &args.controller {
+        Controller::Direct => {
+            let (c, ram) =
+                prevv::mem::DirectMemory::new(synth.interface.clone(), MemTiming::default());
+            synth.netlist.add("mem", c);
+            ram
+        }
+        Controller::Dynamatic { depth } => {
+            let (c, ram) = Lsq::new(synth.interface.clone(), LsqConfig::dynamatic(*depth))
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            synth.netlist.add("lsq", c);
+            ram
+        }
+        Controller::FastLsq { depth } => {
+            let (c, ram) =
+                Lsq::new(synth.interface.clone(), LsqConfig::fast(*depth)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            synth.netlist.add("lsq", c);
+            ram
+        }
+        Controller::Prevv(cfg) => {
+            let (c, ram, _) =
+                PrevvMemory::new(synth.interface.clone(), cfg.clone(), synth.bus.clone())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    });
+            synth.netlist.add("prevv", c);
+            ram
+        }
+    };
+
+    if let Some(path) = &args.dot {
+        if let Err(e) = std::fs::write(path, viz::to_dot(&synth.netlist)) {
+            eprintln!("cannot write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+
+    let mut sim = match Simulator::new(synth.netlist, synth.bus) {
+        Ok(s) => s.with_config(SimConfig::default()),
+        Err(e) => {
+            eprintln!("invalid netlist: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.vcd.is_some() {
+        sim.attach_recorder(TraceRecorder::new(watch));
+    }
+    let report = match sim.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let gold = prevv::ir::golden::execute(&spec);
+    let ram = ram.borrow();
+    let arrays: Vec<Vec<i64>> = synth
+        .interface
+        .split_ram(ram.image())
+        .into_iter()
+        .map(<[i64]>::to_vec)
+        .collect();
+    let correct = arrays == gold.arrays;
+
+    println!("controller: {controller_name}");
+    println!("simulation: {report}");
+    if let Some(d) = design {
+        println!(
+            "estimated:  {} @ CP {:.2} ns → {:.2} µs",
+            d.total(),
+            d.clock_period_ns,
+            report.cycles as f64 * d.clock_period_ns / 1000.0
+        );
+    }
+    println!("result matches golden model: {correct}");
+    for (decl, arr) in spec.arrays.iter().zip(&arrays) {
+        let preview: Vec<i64> = arr.iter().take(12).copied().collect();
+        println!("  {}[{}] = {preview:?}{}", decl.name, decl.len, if arr.len() > 12 { " …" } else { "" });
+    }
+
+    if let Some(path) = &args.vcd {
+        let rec = sim.take_recorder().expect("attached");
+        if let Err(e) = std::fs::write(path, to_vcd(&rec, name)) {
+            eprintln!("cannot write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+    if !correct {
+        std::process::exit(3);
+    }
+}

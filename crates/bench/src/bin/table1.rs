@@ -1,0 +1,106 @@
+//! Regenerates the paper's **Table I**: LUT and FF usage of circuits
+//! generated with \[15\] (plain Dynamatic), \[8\] (fast LSQ allocation),
+//! PreVV16 and PreVV64, plus the geomean reductions of PreVV vs. \[8\].
+//!
+//! Run with `cargo run --release -p prevv-bench --bin table1`.
+
+use prevv_bench::experiments::evaluate_grid;
+use prevv_bench::paper_data::{BENCHMARKS, GEOMEAN_REDUCTIONS, TABLE1};
+use prevv_bench::table::TextTable;
+use prevv_bench::{geomean, pct};
+
+fn main() {
+    println!("== Table I: resource usage ==\n(measured by the analytic area model; paper values in parentheses)\n");
+    let points = match evaluate_grid() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    for p in &points {
+        assert!(p.matches_golden, "{} under {} diverged", p.kernel, p.config);
+    }
+    let get = |kernel: &str, config: &str| {
+        points
+            .iter()
+            .find(|p| p.kernel == kernel && p.config == config)
+            .expect("grid point")
+    };
+
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "[15] LUT",
+        "[8] LUT",
+        "PreVV16 LUT",
+        "PreVV64 LUT",
+        "P16 vs [8]",
+        "P64 vs [8]",
+    ]);
+    let mut r16 = Vec::new();
+    let mut r64 = Vec::new();
+    for (bi, &bench) in BENCHMARKS.iter().enumerate() {
+        let cols = ["[15]", "[8]", "PreVV16", "PreVV64"]
+            .map(|c| get(bench, c).resources.luts);
+        let rat16 = cols[2] as f64 / cols[1] as f64;
+        let rat64 = cols[3] as f64 / cols[1] as f64;
+        r16.push(rat16);
+        r64.push(rat64);
+        let paper = TABLE1[bi];
+        t.row(&[
+            bench.to_string(),
+            format!("{} ({})", cols[0], paper.luts[0]),
+            format!("{} ({})", cols[1], paper.luts[1]),
+            format!("{} ({})", cols[2], paper.luts[2]),
+            format!("{} ({})", cols[3], paper.luts[3]),
+            pct(rat16),
+            pct(rat64),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "geomean LUT reduction vs [8]:   PreVV16 {} (paper -{:.2}%)   PreVV64 {} (paper -{:.2}%)\n",
+        pct(geomean(r16.iter().copied())),
+        GEOMEAN_REDUCTIONS.0 * 100.0,
+        pct(geomean(r64.iter().copied())),
+        GEOMEAN_REDUCTIONS.1 * 100.0,
+    );
+
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "[15] FF",
+        "[8] FF",
+        "PreVV16 FF",
+        "PreVV64 FF",
+        "P16 vs [8]",
+        "P64 vs [8]",
+    ]);
+    let mut f16 = Vec::new();
+    let mut f64v = Vec::new();
+    for (bi, &bench) in BENCHMARKS.iter().enumerate() {
+        let cols = ["[15]", "[8]", "PreVV16", "PreVV64"]
+            .map(|c| get(bench, c).resources.ffs);
+        let rat16 = cols[2] as f64 / cols[1] as f64;
+        let rat64 = cols[3] as f64 / cols[1] as f64;
+        f16.push(rat16);
+        f64v.push(rat64);
+        let paper = TABLE1[bi];
+        t.row(&[
+            bench.to_string(),
+            format!("{} ({})", cols[0], paper.ffs[0]),
+            format!("{} ({})", cols[1], paper.ffs[1]),
+            format!("{} ({})", cols[2], paper.ffs[2]),
+            format!("{} ({})", cols[3], paper.ffs[3]),
+            pct(rat16),
+            pct(rat64),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "geomean FF reduction vs [8]:    PreVV16 {} (paper -{:.2}%)   PreVV64 {} (paper -{:.2}%)",
+        pct(geomean(f16.iter().copied())),
+        GEOMEAN_REDUCTIONS.2 * 100.0,
+        pct(geomean(f64v.iter().copied())),
+        GEOMEAN_REDUCTIONS.3 * 100.0,
+    );
+}

@@ -1,0 +1,98 @@
+//! Regenerates the paper's **Table II**: cycle count, clock period and
+//! execution time of \[15\], \[8\], PreVV16 and PreVV64 on the five kernels.
+//! Cycle counts come from cycle-accurate simulation; clock periods from the
+//! analytic timing model; execution time = cycles × CP.
+//!
+//! Run with `cargo run --release -p prevv-bench --bin table2`.
+
+use prevv_bench::experiments::evaluate_grid;
+use prevv_bench::paper_data::{BENCHMARKS, TABLE2};
+use prevv_bench::table::TextTable;
+use prevv_bench::{geomean, pct};
+
+fn main() {
+    println!("== Table II: timing performance ==\n(cycles: simulated; CP: analytic model; paper values in parentheses)\n");
+    let points = match evaluate_grid() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    for p in &points {
+        assert!(p.matches_golden, "{} under {} diverged", p.kernel, p.config);
+    }
+    let get = |kernel: &str, config: &str| {
+        points
+            .iter()
+            .find(|p| p.kernel == kernel && p.config == config)
+            .expect("grid point")
+    };
+
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "[15] cyc",
+        "[8] cyc",
+        "P16 cyc",
+        "P64 cyc",
+        "[15] CP",
+        "[8] CP",
+        "P16 CP",
+        "P64 CP",
+    ]);
+    for (bi, &bench) in BENCHMARKS.iter().enumerate() {
+        let cyc = ["[15]", "[8]", "PreVV16", "PreVV64"].map(|c| get(bench, c).cycles);
+        let cp = ["[15]", "[8]", "PreVV16", "PreVV64"].map(|c| get(bench, c).cp_ns);
+        let paper = TABLE2[bi];
+        t.row(&[
+            bench.to_string(),
+            format!("{} ({})", cyc[0], paper.cycles[0]),
+            format!("{} ({})", cyc[1], paper.cycles[1]),
+            format!("{} ({})", cyc[2], paper.cycles[2]),
+            format!("{} ({})", cyc[3], paper.cycles[3]),
+            format!("{:.2} ({:.2})", cp[0], paper.cp_ns[0]),
+            format!("{:.2} ({:.2})", cp[1], paper.cp_ns[1]),
+            format!("{:.2} ({:.2})", cp[2], paper.cp_ns[2]),
+            format!("{:.2} ({:.2})", cp[3], paper.cp_ns[3]),
+        ]);
+    }
+    println!("{t}");
+
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "[15] us",
+        "[8] us",
+        "P16 us",
+        "P64 us",
+        "P16 vs [8]",
+        "P64 vs [8]",
+        "squashes P16/P64",
+    ]);
+    let mut e16 = Vec::new();
+    let mut e64 = Vec::new();
+    for (bi, &bench) in BENCHMARKS.iter().enumerate() {
+        let us = ["[15]", "[8]", "PreVV16", "PreVV64"].map(|c| get(bench, c).exec_us);
+        let sq = ["PreVV16", "PreVV64"].map(|c| get(bench, c).squashes);
+        let paper = TABLE2[bi];
+        let rat16 = us[2] / us[1];
+        let rat64 = us[3] / us[1];
+        e16.push(rat16);
+        e64.push(rat64);
+        t.row(&[
+            bench.to_string(),
+            format!("{:.2} ({:.2})", us[0], paper.exec_us[0]),
+            format!("{:.2} ({:.2})", us[1], paper.exec_us[1]),
+            format!("{:.2} ({:.2})", us[2], paper.exec_us[2]),
+            format!("{:.2} ({:.2})", us[3], paper.exec_us[3]),
+            pct(rat16),
+            pct(rat64),
+            format!("{}/{}", sq[0], sq[1]),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "geomean exec time vs [8]:  PreVV16 {}   PreVV64 {} (paper: PreVV64 -2.64%)",
+        pct(geomean(e16.iter().copied())),
+        pct(geomean(e64.iter().copied())),
+    );
+}

@@ -1,0 +1,60 @@
+//! # prevv-bench — experiment harness
+//!
+//! Library functions that regenerate every table and figure of the paper,
+//! returning structured data; the `fig1`, `table1`, `table2`, `fig7`, and
+//! `ablation` binaries print them alongside the paper's published numbers.
+//! EXPERIMENTS.md records both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper_data;
+pub mod table;
+
+/// Geometric mean of a sequence of positive ratios.
+///
+/// ```
+/// let g = prevv_bench::geomean([2.0, 8.0]);
+/// assert!((g - 4.0).abs() < 1e-9);
+/// ```
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean needs positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Percentage-change string in the paper's style (`-43.91%` / `+4.05%`).
+pub fn pct(ratio: f64) -> String {
+    let delta = (ratio - 1.0) * 100.0;
+    if delta >= 0.0 {
+        format!("+{delta:.2}%")
+    } else {
+        format!("{delta:.2}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_identity() {
+        assert!((geomean([3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.5609), "-43.91%");
+        assert_eq!(pct(1.0405), "+4.05%");
+    }
+}

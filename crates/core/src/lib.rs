@@ -1,0 +1,68 @@
+//! # prevv-core — premature value validation (the paper's contribution)
+//!
+//! PreVV eliminates the load-store queue of dynamically scheduled HLS
+//! circuits: memory operations execute **prematurely** (fully out of order,
+//! results flowing downstream immediately), their `{iter, index, value, op}`
+//! properties are buffered in a simple circular **premature queue**, and an
+//! **arbiter** validates every arrival by value. A mismatch proves a
+//! later-iteration operation consumed stale data; the pipeline behind it is
+//! squashed and replayed. Guarded operations send **fake tokens** so the
+//! queue always drains (deadlock elimination, paper §V-C).
+//!
+//! The crate provides:
+//!
+//! * [`PrematureQueue`] / [`PrematureRecord`] — the paper's Fig. 4 circular
+//!   buffer and Eq. 1 property assembly;
+//! * [`Arbiter`] — the Eq. 2–5 violation test (with the symmetric check and
+//!   youngest-store matching; see DESIGN.md §4);
+//! * [`PrevvMemory`] — the drop-in controller replacing
+//!   [`prevv_mem::Lsq`] behind the same memory interface;
+//! * [`reduce`] — the §V-B pair-reduction analysis (Eq. 11–12);
+//! * [`sizing`] — the §V-A matched-pair `depth_q` model (Eq. 6–10).
+//!
+//! ## Example
+//!
+//! ```
+//! use prevv_dataflow::{Simulator, components::LoopLevel};
+//! use prevv_ir::{golden, synthesize, ArrayDecl, ArrayId, Expr, KernelSpec, Stmt};
+//! use prevv_core::{PrevvConfig, PrevvMemory};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A loop-carried reduction: hostile to out-of-order memory.
+//! let a = ArrayId(0);
+//! let spec = KernelSpec::new(
+//!     "reduce",
+//!     vec![LoopLevel::upto(16)],
+//!     vec![ArrayDecl::zeroed("a", 4)],
+//!     vec![Stmt::store(a, Expr::lit(0), Expr::load(a, Expr::lit(0)).add(Expr::var(0)))],
+//! )?;
+//! let mut circuit = synthesize(&spec)?;
+//! let (prevv, ram, stats) =
+//!     PrevvMemory::new(circuit.interface.clone(), PrevvConfig::prevv16(), circuit.bus.clone())?;
+//! circuit.netlist.add("prevv", prevv);
+//! let mut sim = Simulator::new(circuit.netlist, circuit.bus)?;
+//! sim.run()?;
+//! assert_eq!(ram.borrow().image(), golden::execute(&spec).array(a));
+//! assert!(stats.borrow().validations > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod config;
+mod memory;
+mod queue;
+mod record;
+pub mod reduce;
+pub mod sizing;
+
+pub use arbiter::{Arbiter, ArbiterStats, Verdict};
+pub use config::PrevvConfig;
+pub use memory::{
+    PrevvError, PrevvMemory, PrevvStats, SharedPrevvStats, SharedSquashLog, SquashEvent,
+};
+pub use queue::{PrematureQueue, QueueState};
+pub use record::PrematureRecord;

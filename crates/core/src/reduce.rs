@@ -1,0 +1,201 @@
+//! Pair reduction for scalability (paper §V-B, Eq. 11–12).
+//!
+//! When ambiguous pairs overlap — one operation belongs to several pairs —
+//! naively instantiating one arbiter + queue per pair duplicates validation
+//! work and multiplies resources (`Com_n = 2^n · Com_1`, Eq. 11). The paper's
+//! dimension reduction observes that *consecutive operations of the same
+//! kind never form an ambiguous pair with each other*, so within every run
+//! of consecutive same-kind ambiguous accesses to an array, validating one
+//! representative is sufficient: any violation between a store and any load
+//! of the run manifests identically at the representative's validation,
+//! because the whole run reads (or writes) between the same pair of
+//! surrounding opposite-kind operations.
+//!
+//! This module computes the representative set; `prevv-area` uses it to
+//! price the arbiter, and the controller can restrict validation triggering
+//! to it.
+
+use std::collections::{BTreeMap, HashSet};
+
+use prevv_ir::{MemOpKind, MemoryInterface};
+
+/// Result of the reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reduction {
+    /// All ambiguous port ids (before reduction).
+    pub ambiguous: HashSet<usize>,
+    /// The representative ports whose arrivals must trigger validation.
+    pub validated: HashSet<usize>,
+}
+
+impl Reduction {
+    /// Ports whose validation searches were eliminated.
+    pub fn eliminated(&self) -> usize {
+        self.ambiguous.len() - self.validated.len()
+    }
+}
+
+/// Naive complexity of `n` overlapped pairs relative to one (paper Eq. 11).
+pub fn naive_complexity(n: u32) -> f64 {
+    2f64.powi(n as i32)
+}
+
+/// Naive frequency degradation of `n` overlapped pairs (paper Eq. 12:
+/// `frq_n = log2(frq_1)` — modeled as a log-factor slowdown).
+pub fn naive_frequency_factor(n: u32) -> f64 {
+    1.0 / (1.0 + (n as f64).log2().max(0.0))
+}
+
+/// Computes the validated representative set for an interface.
+///
+/// Ambiguous ops are grouped per array and ordered by their program-order
+/// sequence number; each maximal run of consecutive same-kind ops keeps one
+/// representative:
+///
+/// * for a run of **loads**, the *first* (earliest) one — it reads before
+///   all the others, so any store value it should have seen binds the whole
+///   run;
+/// * for a run of **stores**, the *last* one — it is the youngest, i.e. the
+///   value later loads must observe.
+///
+/// With `pair_reduction` disabled the validated set equals the ambiguous
+/// set.
+pub fn reduce(iface: &MemoryInterface, pair_reduction: bool) -> Reduction {
+    let ambiguous = iface.ambiguous_ops();
+    if !pair_reduction {
+        return Reduction {
+            validated: ambiguous.clone(),
+            ambiguous,
+        };
+    }
+    // Group ambiguous ops per array, ordered by seq.
+    let mut per_array: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (pid, port) in iface.ports.iter().enumerate() {
+        if ambiguous.contains(&pid) {
+            per_array.entry(port.op.array.0).or_default().push(pid);
+        }
+    }
+    let mut validated = HashSet::new();
+    for ops in per_array.values() {
+        let mut run: Vec<usize> = Vec::new();
+        let mut run_kind: Option<MemOpKind> = None;
+        let flush_run = |run: &mut Vec<usize>, kind: Option<MemOpKind>| {
+            if run.is_empty() {
+                return None;
+            }
+            let rep = match kind.expect("non-empty run has a kind") {
+                MemOpKind::Load => run[0],
+                MemOpKind::Store => *run.last().expect("non-empty"),
+            };
+            run.clear();
+            Some(rep)
+        };
+        for &pid in ops {
+            let kind = iface.ports[pid].op.kind;
+            if run_kind != Some(kind) {
+                if let Some(rep) = flush_run(&mut run, run_kind) {
+                    validated.insert(rep);
+                }
+                run_kind = Some(kind);
+            }
+            run.push(pid);
+        }
+        if let Some(rep) = flush_run(&mut run, run_kind) {
+            validated.insert(rep);
+        }
+    }
+    Reduction {
+        ambiguous,
+        validated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prevv_dataflow::components::LoopLevel;
+    use prevv_ir::{synthesize, ArrayDecl, ArrayId, Expr, KernelSpec, Stmt};
+
+    #[test]
+    fn complexity_formulas_match_paper() {
+        assert_eq!(naive_complexity(1), 2.0);
+        assert_eq!(naive_complexity(3), 8.0);
+        assert!(naive_frequency_factor(4) < naive_frequency_factor(1));
+    }
+
+    /// Three consecutive ambiguous loads of `a` then the store: the run of
+    /// loads collapses to one validated representative.
+    #[test]
+    fn consecutive_loads_collapse() {
+        let a = ArrayId(0);
+        let spec = KernelSpec::new(
+            "runs",
+            vec![LoopLevel::upto(4), LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 16)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0),
+                Expr::load(a, Expr::var(0))
+                    .add(Expr::load(a, Expr::var(0).add(Expr::lit(1))))
+                    .add(Expr::load(a, Expr::var(0).add(Expr::lit(2)))),
+            )],
+        )
+        .expect("valid");
+        let s = synthesize(&spec).expect("synth");
+        let r = reduce(&s.interface, true);
+        assert_eq!(r.ambiguous.len(), 4, "3 loads + 1 store are ambiguous");
+        // One representative load + the store.
+        assert_eq!(r.validated.len(), 2);
+        assert!(r.eliminated() == 2);
+        // The representative load is the earliest (seq 0).
+        assert!(r.validated.contains(&0));
+        // The store is always validated.
+        let store_id = s
+            .interface
+            .ports
+            .iter()
+            .position(|p| p.is_store())
+            .expect("has store");
+        assert!(r.validated.contains(&store_id));
+    }
+
+    #[test]
+    fn disabled_reduction_validates_everything() {
+        let a = ArrayId(0);
+        let spec = KernelSpec::new(
+            "runs",
+            vec![LoopLevel::upto(4), LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 16)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0),
+                Expr::load(a, Expr::var(0)).add(Expr::load(a, Expr::var(0).add(Expr::lit(1)))),
+            )],
+        )
+        .expect("valid");
+        let s = synthesize(&spec).expect("synth");
+        let r = reduce(&s.interface, false);
+        assert_eq!(r.validated, r.ambiguous);
+        assert_eq!(r.eliminated(), 0);
+    }
+
+    #[test]
+    fn independent_arrays_keep_their_own_representatives() {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let spec = KernelSpec::new(
+            "two",
+            vec![LoopLevel::upto(4), LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 8), ArrayDecl::zeroed("b", 8)],
+            vec![
+                Stmt::store(a, Expr::var(0), Expr::load(a, Expr::var(0)).add(Expr::lit(1))),
+                Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(1))),
+            ],
+        )
+        .expect("valid");
+        let s = synthesize(&spec).expect("synth");
+        let r = reduce(&s.interface, true);
+        // Each array keeps its load + store representative.
+        assert_eq!(r.validated.len(), 4);
+    }
+}

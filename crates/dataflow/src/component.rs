@@ -1,0 +1,121 @@
+//! The component abstraction every circuit element implements.
+
+use crate::signal::{ChannelId, Signals};
+
+/// Input/output channel lists of a component, used by the netlist for
+/// structural validation (every channel needs exactly one producer and one
+/// consumer) and for diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ports {
+    /// Channels this component consumes from.
+    pub inputs: Vec<ChannelId>,
+    /// Channels this component produces onto.
+    pub outputs: Vec<ChannelId>,
+}
+
+impl Ports {
+    /// Creates a port list from input and output channel sets.
+    pub fn new(inputs: Vec<ChannelId>, outputs: Vec<ChannelId>) -> Self {
+        Ports { inputs, outputs }
+    }
+}
+
+/// A hardware element of an elastic circuit.
+///
+/// Components follow the standard two-phase synchronous discipline:
+///
+/// 1. [`eval`](Component::eval) — *combinational*: read input `valid`/data and
+///    output `ready` wires, drive output `valid`/data and input `ready`
+///    wires. Called repeatedly within one cycle until the wire state reaches
+///    a fixpoint, so it must be a pure function of the component's sequential
+///    state and the wires (no internal mutation — note the `&self`).
+/// 2. [`commit`](Component::commit) — *sequential*: observe which channels
+///    fired and update internal registers/FIFOs accordingly. Called exactly
+///    once per cycle, after the fixpoint.
+///
+/// Squash support: [`flush`](Component::flush) drops every internally held
+/// token belonging to iteration `from_iter` or later; the engine invokes it
+/// on all components when a pipeline squash is posted.
+pub trait Component {
+    /// Static name of the component kind (for diagnostics and area reports).
+    fn type_name(&self) -> &'static str;
+
+    /// Channels this component is wired to.
+    fn ports(&self) -> Ports;
+
+    /// Combinational evaluation; see the trait docs for the contract.
+    fn eval(&self, sig: &mut Signals);
+
+    /// Sequential update after the wire fixpoint.
+    fn commit(&mut self, sig: &Signals);
+
+    /// Drops all internally held tokens of iterations `>= from_iter`.
+    ///
+    /// Components that never hold tokens across cycles can rely on the
+    /// default no-op.
+    fn flush(&mut self, from_iter: u64) {
+        let _ = from_iter;
+    }
+
+    /// True when the component holds no in-flight work.
+    ///
+    /// The simulation terminates when every component is idle. Stateless
+    /// elements are always idle.
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    /// Number of tokens currently held inside the component (diagnostics).
+    fn occupancy(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Token;
+
+    /// A minimal wire component used to exercise the trait contract.
+    struct Wire {
+        input: ChannelId,
+        output: ChannelId,
+    }
+
+    impl Component for Wire {
+        fn type_name(&self) -> &'static str {
+            "wire"
+        }
+        fn ports(&self) -> Ports {
+            Ports::new(vec![self.input], vec![self.output])
+        }
+        fn eval(&self, sig: &mut Signals) {
+            if let Some(t) = sig.token(self.input) {
+                sig.drive(self.output, t);
+            }
+            sig.accept_if(self.input, sig.is_ready(self.output));
+        }
+        fn commit(&mut self, _sig: &Signals) {}
+    }
+
+    #[test]
+    fn wire_component_forwards() {
+        let a = ChannelId(0);
+        let b = ChannelId(1);
+        let w = Wire {
+            input: a,
+            output: b,
+        };
+        let mut sig = Signals::new(2);
+        sig.drive(a, Token::new(9, 1));
+        sig.accept(b);
+        // Two sweeps reach the fixpoint for a single wire.
+        w.eval(&mut sig);
+        w.eval(&mut sig);
+        assert!(sig.fired(a));
+        assert!(sig.fired(b));
+        assert_eq!(sig.taken(b), Some(Token::new(9, 1)));
+        assert!(w.is_idle());
+        assert_eq!(w.occupancy(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! The standard elastic component library.
+//!
+//! These are the dataflow building blocks of a dynamically scheduled HLS
+//! circuit (Dynamatic's component set): token routing ([`Fork`], [`Join`],
+//! [`Merge`], [`Mux`], [`Branch`]), storage ([`Buffer`]), computation
+//! ([`BinaryAlu`], [`UnaryAlu`], [`Constant`]), loop control
+//! ([`IterSource`]), and termination ([`Sink`]). Memory access ports and
+//! disambiguation controllers (LSQ, PreVV) live in the `prevv-mem` and
+//! `prevv-core` crates and implement the same [`Component`] trait.
+//!
+//! [`Component`]: crate::Component
+
+mod alu;
+mod basic;
+mod buffer;
+mod routing;
+mod source;
+
+pub use alu::{BinOp, BinaryAlu, UnOp, UnaryAlu};
+pub use basic::{Branch, Constant, Fork, Join, Merge, Mux, Sink};
+pub use buffer::Buffer;
+pub use routing::{ControlMerge, Demux};
+pub use source::{iteration_space, Bound, IterSource, LoopLevel};

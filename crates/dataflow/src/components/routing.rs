@@ -1,0 +1,268 @@
+//! N-way routing components: [`ControlMerge`] and [`Demux`] — the last two
+//! members of Dynamatic's standard component set, used when control flow
+//! reconverges (φ-nodes) or fans out by computed index.
+
+use crate::component::{Component, Ports};
+use crate::signal::{ChannelId, Signals};
+
+/// Control merge: like [`Merge`](crate::components::Merge), but additionally
+/// emits *which* input won on a separate index output — the component
+/// Dynamatic places at control-flow join points so downstream muxes can
+/// select the matching data path.
+///
+/// Both outputs must fire for the input to be consumed; an internal `sent`
+/// pair lets them fire in different cycles.
+#[derive(Debug)]
+pub struct ControlMerge {
+    inputs: Vec<ChannelId>,
+    output: ChannelId,
+    index_out: ChannelId,
+    /// (chosen input, data sent?, index sent?) for a partially delivered
+    /// arbitration.
+    in_flight: Option<(usize, bool, bool)>,
+}
+
+impl ControlMerge {
+    /// Creates a control merge over `inputs`, forwarding the winning token
+    /// on `output` and its input index on `index_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new(inputs: Vec<ChannelId>, output: ChannelId, index_out: ChannelId) -> Self {
+        assert!(!inputs.is_empty(), "control merge needs inputs");
+        ControlMerge {
+            inputs,
+            output,
+            index_out,
+            in_flight: None,
+        }
+    }
+
+    fn choose(&self, sig: &Signals) -> Option<usize> {
+        match self.in_flight {
+            Some((k, ..)) => Some(k),
+            None => self.inputs.iter().position(|&ch| sig.is_valid(ch)),
+        }
+    }
+}
+
+impl Component for ControlMerge {
+    fn type_name(&self) -> &'static str {
+        "control_merge"
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new(self.inputs.clone(), vec![self.output, self.index_out])
+    }
+
+    fn eval(&self, sig: &mut Signals) {
+        let Some(k) = self.choose(sig) else { return };
+        let Some(t) = sig.token(self.inputs[k]) else {
+            return;
+        };
+        let (data_sent, index_sent) = match self.in_flight {
+            Some((_, d, i)) => (d, i),
+            None => (false, false),
+        };
+        if !data_sent {
+            sig.drive(self.output, t);
+        }
+        if !index_sent {
+            sig.drive(self.index_out, t.with_value(k as i64));
+        }
+        let data_done = data_sent || sig.is_ready(self.output);
+        let index_done = index_sent || sig.is_ready(self.index_out);
+        sig.accept_if(self.inputs[k], data_done && index_done);
+    }
+
+    fn commit(&mut self, sig: &Signals) {
+        let Some(k) = self.choose(sig) else { return };
+        if sig.fired(self.inputs[k]) {
+            self.in_flight = None;
+            return;
+        }
+        let (mut d, mut i) = match self.in_flight {
+            Some((_, d, i)) => (d, i),
+            None => (false, false),
+        };
+        d |= sig.fired(self.output);
+        i |= sig.fired(self.index_out);
+        if d || i {
+            self.in_flight = Some((k, d, i));
+        }
+    }
+
+    fn flush(&mut self, _from_iter: u64) {
+        // Partial arbitration state refers to a token held upstream; if that
+        // token is flushed the state must clear. Conservatively reset (the
+        // upstream producer re-offers surviving tokens anyway).
+        self.in_flight = None;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+}
+
+/// Demux: steers each input token to the output selected by an index token
+/// (the N-way generalization of [`Branch`](crate::components::Branch)).
+/// Out-of-range indices wrap modulo the output count.
+#[derive(Debug)]
+pub struct Demux {
+    data: ChannelId,
+    select: ChannelId,
+    outputs: Vec<ChannelId>,
+}
+
+impl Demux {
+    /// Creates a demux steering `data` by `select` across `outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty.
+    pub fn new(data: ChannelId, select: ChannelId, outputs: Vec<ChannelId>) -> Self {
+        assert!(!outputs.is_empty(), "demux needs outputs");
+        Demux {
+            data,
+            select,
+            outputs,
+        }
+    }
+}
+
+impl Component for Demux {
+    fn type_name(&self) -> &'static str {
+        "demux"
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new(vec![self.data, self.select], self.outputs.clone())
+    }
+
+    fn eval(&self, sig: &mut Signals) {
+        let (Some(t), Some(s)) = (sig.token(self.data), sig.token(self.select)) else {
+            return;
+        };
+        let k = (s.value.rem_euclid(self.outputs.len() as i64)) as usize;
+        let out = self.outputs[k];
+        sig.drive(out, t);
+        if sig.is_ready(out) {
+            sig.accept(self.data);
+            sig.accept(self.select);
+        }
+    }
+
+    fn commit(&mut self, _sig: &Signals) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    fn ch(i: u32) -> ChannelId {
+        ChannelId::from_index(i as usize)
+    }
+
+    fn settle(c: &dyn Component, s: &mut Signals) {
+        s.settle_with(8, |sig| c.eval(sig));
+        c.eval(s);
+    }
+
+    #[test]
+    fn control_merge_reports_the_winning_index() {
+        let m = ControlMerge::new(vec![ch(0), ch(1)], ch(2), ch(3));
+        let mut s = Signals::new(4);
+        s.drive(ch(1), Token::new(9, 4));
+        s.accept(ch(2));
+        s.accept(ch(3));
+        settle(&m, &mut s);
+        assert_eq!(s.taken(ch(2)), Some(Token::new(9, 4)));
+        assert_eq!(s.taken(ch(3)), Some(Token::new(1, 4)), "index of input 1");
+        assert!(s.fired(ch(1)));
+    }
+
+    #[test]
+    fn control_merge_waits_for_both_outputs() {
+        let mut m = ControlMerge::new(vec![ch(0), ch(1)], ch(2), ch(3));
+        // Cycle 1: only the data output is ready.
+        let mut s = Signals::new(4);
+        s.drive(ch(0), Token::new(7, 2));
+        s.accept(ch(2));
+        settle(&m, &mut s);
+        assert!(s.fired(ch(2)));
+        assert!(!s.fired(ch(0)), "input held until index is delivered");
+        m.commit(&s);
+        assert!(!m.is_idle());
+        // Cycle 2: index output becomes ready; input consumed.
+        let mut s = Signals::new(4);
+        s.drive(ch(0), Token::new(7, 2));
+        s.accept(ch(3));
+        settle(&m, &mut s);
+        assert!(!s.is_valid(ch(2)), "data already sent");
+        assert!(s.fired(ch(3)));
+        assert!(s.fired(ch(0)));
+        m.commit(&s);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn control_merge_priority_is_stable_under_partial_delivery() {
+        let mut m = ControlMerge::new(vec![ch(0), ch(1)], ch(2), ch(3));
+        // Input 1 wins while input 0 is absent...
+        let mut s = Signals::new(4);
+        s.drive(ch(1), Token::new(9, 0));
+        s.accept(ch(2));
+        settle(&m, &mut s);
+        m.commit(&s);
+        // ...then input 0 appears; the merge must stay committed to input 1.
+        let mut s = Signals::new(4);
+        s.drive(ch(0), Token::new(5, 1));
+        s.drive(ch(1), Token::new(9, 0));
+        s.accept(ch(3));
+        settle(&m, &mut s);
+        assert_eq!(
+            s.taken(ch(3)),
+            Some(Token::new(1, 0)),
+            "index still names input 1"
+        );
+        assert!(s.fired(ch(1)));
+        assert!(!s.fired(ch(0)));
+    }
+
+    #[test]
+    fn demux_steers_by_index() {
+        let d = Demux::new(ch(0), ch(1), vec![ch(2), ch(3), ch(4)]);
+        let mut s = Signals::new(5);
+        s.drive(ch(0), Token::new(42, 0));
+        s.drive(ch(1), Token::new(2, 0));
+        s.accept(ch(4));
+        settle(&d, &mut s);
+        assert_eq!(s.taken(ch(4)), Some(Token::new(42, 0)));
+        assert!(s.fired(ch(0)) && s.fired(ch(1)));
+        assert!(!s.is_valid(ch(2)) && !s.is_valid(ch(3)));
+    }
+
+    #[test]
+    fn demux_wraps_out_of_range_select() {
+        let d = Demux::new(ch(0), ch(1), vec![ch(2), ch(3)]);
+        let mut s = Signals::new(4);
+        s.drive(ch(0), Token::new(1, 0));
+        s.drive(ch(1), Token::new(5, 0)); // 5 % 2 = 1
+        s.accept(ch(3));
+        settle(&d, &mut s);
+        assert_eq!(s.taken(ch(3)), Some(Token::new(1, 0)));
+    }
+
+    #[test]
+    fn demux_backpressure_holds_both_inputs() {
+        let d = Demux::new(ch(0), ch(1), vec![ch(2), ch(3)]);
+        let mut s = Signals::new(4);
+        s.drive(ch(0), Token::new(1, 0));
+        s.drive(ch(1), Token::new(0, 0));
+        settle(&d, &mut s);
+        assert!(s.is_valid(ch(2)), "offered");
+        assert!(!s.fired(ch(0)) && !s.fired(ch(1)), "not consumed");
+    }
+}

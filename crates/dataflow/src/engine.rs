@@ -1,0 +1,416 @@
+//! The cycle-accurate simulation engine.
+//!
+//! Each clock cycle proceeds in three phases:
+//!
+//! 1. **Wire fixpoint** — all components' [`eval`](crate::Component::eval)
+//!    functions run repeatedly until no `valid`/`ready`/data wire changes.
+//!    `valid` and `ready` are monotone within a cycle, so the fixpoint exists
+//!    and the iteration count is bounded; exceeding the bound means a
+//!    combinational cycle (a feedback path without an elastic buffer) and is
+//!    reported as [`SimError::CombinationalCycle`].
+//! 2. **Commit** — every component's [`commit`](crate::Component::commit)
+//!    observes which channels fired and updates its registers.
+//! 3. **Squash application** — if a disambiguation controller posted a squash
+//!    on the [`SquashBus`], the engine bumps the epoch, calls
+//!    [`flush`](crate::Component::flush) on every component (dropping all
+//!    tokens of the squashed iterations), and lets the iteration source
+//!    rewind. This models the broadcast pipeline flush of the paper's mux +
+//!    squash signal.
+//!
+//! The run ends when every component is idle (quiescence), when the cycle
+//! budget is exhausted, or when the no-progress watchdog declares deadlock —
+//! the condition the paper's fake tokens exist to prevent (§V-C).
+
+use crate::error::SimError;
+use crate::netlist::Netlist;
+use crate::signal::Signals;
+use crate::squash::SquashBus;
+use crate::stats::SimReport;
+use crate::trace::TraceRecorder;
+
+/// Tuning knobs for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hard upper bound on simulated cycles.
+    pub max_cycles: u64,
+    /// Declare deadlock after this many consecutive cycles with no channel
+    /// transfer while tokens are still in flight.
+    pub watchdog: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_cycles: 2_000_000,
+            watchdog: 1_000,
+        }
+    }
+}
+
+/// Drives a [`Netlist`] to quiescence.
+pub struct Simulator {
+    netlist: Netlist,
+    signals: Signals,
+    bus: SquashBus,
+    config: SimConfig,
+    cycle: u64,
+    transfers: u64,
+    stall_cycles: u64,
+    idle_streak: u64,
+    recorder: Option<TraceRecorder>,
+    channel_stalls: Vec<u64>,
+}
+
+impl Simulator {
+    /// Creates a simulator for `netlist`, validating its structure.
+    ///
+    /// The `bus` must be the same squash bus handed to the netlist's
+    /// iteration source and disambiguation controller (if any); pass a fresh
+    /// bus for circuits without squash support.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Structure`] if the netlist has dangling or
+    /// multiply-driven channels.
+    pub fn new(netlist: Netlist, bus: SquashBus) -> Result<Self, SimError> {
+        netlist.validate()?;
+        let signals = Signals::new(netlist.channel_count());
+        let channel_stalls = vec![0; netlist.channel_count()];
+        Ok(Simulator {
+            netlist,
+            signals,
+            bus,
+            config: SimConfig::default(),
+            cycle: 0,
+            transfers: 0,
+            stall_cycles: 0,
+            idle_streak: 0,
+            recorder: None,
+            channel_stalls,
+        })
+    }
+
+    /// Replaces the default configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a channel trace recorder; it samples every cycle from now
+    /// on. See [`TraceRecorder`].
+    pub fn attach_recorder(&mut self, recorder: TraceRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches and returns the recorder.
+    pub fn take_recorder(&mut self) -> Option<TraceRecorder> {
+        self.recorder.take()
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Read access to the simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Executes one clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CombinationalCycle`] if the wire fixpoint diverges.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.signals.reset();
+        // Monotone fixpoint: each sweep can only raise valid/ready wires, so
+        // the sweep count is bounded by the number of wires plus slack for
+        // data rewrites by arbitrating components.
+        let budget = 2 * self.signals.len() + self.netlist.node_count() + 8;
+        let mut converged = false;
+        for _ in 0..budget {
+            for c in self.netlist.components() {
+                c.eval(&mut self.signals);
+            }
+            if !self.signals.take_changed() {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(SimError::CombinationalCycle { cycle: self.cycle });
+        }
+
+        let fired = self.signals.count_fired();
+        self.transfers += fired;
+        self.stall_cycles += self.signals.count_stalled();
+        self.signals.accumulate_stalls(&mut self.channel_stalls);
+        if let Some(rec) = &mut self.recorder {
+            rec.sample(&self.signals);
+        }
+
+        for c in self.netlist.components_mut() {
+            c.commit(&self.signals);
+        }
+
+        if let Some(from) = self.bus.take_pending(|_| 0) {
+            for c in self.netlist.components_mut() {
+                c.flush(from);
+            }
+            // A flush is progress even if no channel fired this cycle.
+            self.idle_streak = 0;
+        } else if fired == 0 {
+            self.idle_streak += 1;
+        } else {
+            self.idle_streak = 0;
+        }
+
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// True once every component reports idle.
+    pub fn quiescent(&self) -> bool {
+        self.netlist.components().iter().all(|c| c.is_idle())
+    }
+
+    /// Runs until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::CombinationalCycle`] — wire fixpoint diverged;
+    /// * [`SimError::Deadlock`] — no progress for the watchdog window while
+    ///   tokens remain in flight (e.g. the premature queue deadlock of paper
+    ///   §V-C when fake tokens are disabled);
+    /// * [`SimError::Timeout`] — the cycle budget ran out.
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        while !self.quiescent() {
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::Timeout {
+                    max_cycles: self.config.max_cycles,
+                });
+            }
+            self.step()?;
+            if self.idle_streak >= self.config.watchdog {
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    detail: self.netlist.occupancy_report(),
+                });
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// The statistics accumulated so far.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            cycles: self.cycle,
+            transfers: self.transfers,
+            stall_cycles: self.stall_cycles,
+            squashes: self.bus.squash_count(),
+            replayed_iters: self.bus.replayed_iters(),
+        }
+    }
+
+    /// The `n` most-stalled channels with their stall cycle counts — the
+    /// first place to look when a pipeline is slower than expected.
+    pub fn stall_ranking(&self, n: usize) -> Vec<(crate::ChannelId, u64)> {
+        let mut ranked: Vec<(crate::ChannelId, u64)> = self
+            .channel_stalls
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (crate::ChannelId::from_index(i), c))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Consumes the simulator, returning the netlist (e.g. to inspect
+    /// collector sinks).
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("netlist", &self.netlist)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{
+        BinOp, BinaryAlu, Buffer, Constant, Fork, IterSource, Sink,
+    };
+
+    /// Builds `out = (i + 1) * i` for i in 0..n and collects the results.
+    fn arithmetic_circuit(n: i64) -> (Netlist, SquashBus, std::rc::Rc<std::cell::RefCell<Vec<crate::Token>>>) {
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let src_out = net.channel();
+        let f1 = net.channel();
+        let f2 = net.channel();
+        let one_trig_buf = net.channel();
+        let one = net.channel();
+        let sum = net.channel();
+        let prod = net.channel();
+        let rows = (0..n).map(|i| vec![i]).collect();
+        net.add("src", IterSource::new(rows, vec![src_out], bus.clone()));
+        net.add("fork", Fork::new(src_out, vec![f1, f2]));
+        // Feed the constant from a forked copy through a buffer so each
+        // iteration triggers exactly one constant emission.
+        net.add("buf", Buffer::new(2, f2, one_trig_buf));
+        net.add("one", Constant::new(1, one_trig_buf, one));
+        net.add("add", BinaryAlu::with_latency(BinOp::Add, 1, f1, one, sum));
+        // (i+1) * i needs i again: fork f1? Instead multiply sum by constant 2
+        // via another constant; keep it simple: just square the sum.
+        let two = net.channel();
+        let sum_f1 = net.channel();
+        let sum_f2 = net.channel();
+        net.add("fork2", Fork::new(sum, vec![sum_f1, sum_f2]));
+        net.add("two", Constant::new(2, sum_f2, two));
+        net.add("mul", BinaryAlu::with_latency(BinOp::Mul, 3, sum_f1, two, prod));
+        let (sink, store) = Sink::collecting(vec![prod]);
+        net.add("sink", sink);
+        (net, bus, store)
+    }
+
+    #[test]
+    fn end_to_end_pipeline_computes_correctly() {
+        let (net, bus, store) = arithmetic_circuit(8);
+        let mut sim = Simulator::new(net, bus).expect("valid netlist");
+        let report = sim.run().expect("no deadlock");
+        let mut values: Vec<i64> = store.borrow().iter().map(|t| t.value).collect();
+        values.sort_unstable();
+        let expected: Vec<i64> = (0..8).map(|i| (i + 1) * 2).collect();
+        assert_eq!(values, expected);
+        assert!(report.cycles > 0);
+        assert!(report.squashes == 0);
+    }
+
+    #[test]
+    fn pipeline_overlaps_iterations() {
+        // With II=1 at the source and pipelined units, n iterations should
+        // take far fewer than n * total-latency cycles.
+        let (net, bus, _) = arithmetic_circuit(64);
+        let mut sim = Simulator::new(net, bus).expect("valid netlist");
+        let report = sim.run().expect("no deadlock");
+        assert!(
+            report.cycles < 64 * 6,
+            "pipeline must overlap iterations, took {} cycles",
+            report.cycles
+        );
+        assert!(report.cycles >= 64, "at least one cycle per iteration");
+    }
+
+    #[test]
+    fn empty_netlist_is_quiescent() {
+        let net = Netlist::new();
+        let mut sim = Simulator::new(net, SquashBus::new()).expect("empty is valid");
+        let report = sim.run().expect("nothing to do");
+        assert_eq!(report.cycles, 0);
+    }
+
+    #[test]
+    fn watchdog_detects_starved_join() {
+        use crate::components::Join;
+        // A join whose second input never receives a token: the first input
+        // token is held at an upstream buffer forever => deadlock... but note
+        // tokens held in a buffer keep the netlist non-idle.
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let a = net.channel();
+        let a_buf = net.channel();
+        let b = net.channel();
+        let b_buf = net.channel();
+        let out = net.channel();
+        net.add(
+            "src",
+            IterSource::new(vec![vec![1]], vec![a], bus.clone()),
+        );
+        net.add("buf_a", Buffer::new(1, a, a_buf));
+        // Source for b emits zero iterations: join starves.
+        net.add(
+            "src_b",
+            IterSource::new(vec![], vec![b], bus.clone()),
+        );
+        net.add("buf_b", Buffer::new(1, b, b_buf));
+        net.add("join", Join::new(vec![a_buf, b_buf], out));
+        net.add("sink", Sink::new(vec![out]));
+        let mut sim = Simulator::new(net, bus)
+            .expect("valid netlist")
+            .with_config(SimConfig {
+                max_cycles: 100_000,
+                watchdog: 50,
+            });
+        let err = sim.run().expect_err("must deadlock");
+        match err {
+            SimError::Deadlock { detail, .. } => {
+                assert!(detail.contains("buf_a"), "diagnostic names the stuck buffer: {detail}");
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stall_ranking_identifies_the_bottleneck() {
+        use crate::components::Buffer;
+        // A source feeding a capacity-1 buffer that drains into a slow
+        // (3-cycle) ALU stage: the buffer's input channel stalls the most.
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let src = net.channel();
+        let buffered = net.channel();
+        let trig = net.channel();
+        let one = net.channel();
+        let sum = net.channel();
+        let f1 = net.channel();
+        let f2 = net.channel();
+        net.add(
+            "src",
+            IterSource::new((0..32).map(|i| vec![i]).collect(), vec![src], bus.clone()),
+        );
+        net.add("fork", Fork::new(src, vec![f1, f2]));
+        net.add("buf", Buffer::new(1, f2, trig));
+        net.add("one", Constant::new(1, trig, one));
+        net.add("slowbuf", Buffer::new(1, f1, buffered));
+        net.add(
+            "slow",
+            BinaryAlu::with_latency(BinOp::Mul, 4, buffered, one, sum),
+        );
+        net.add("sink", Sink::new(vec![sum]));
+        let mut sim = Simulator::new(net, bus).expect("valid");
+        sim.run().expect("completes");
+        let ranking = sim.stall_ranking(3);
+        assert!(!ranking.is_empty(), "a 4-cycle unit at II 1 must stall something");
+        // Stall counts are sorted descending.
+        for w in ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let (net, bus, _) = arithmetic_circuit(64);
+        let mut sim = Simulator::new(net, bus)
+            .expect("valid")
+            .with_config(SimConfig {
+                max_cycles: 3,
+                watchdog: 1000,
+            });
+        assert!(matches!(sim.run(), Err(SimError::Timeout { max_cycles: 3 })));
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for netlist construction and simulation.
+
+use std::fmt;
+
+use crate::signal::ChannelId;
+
+/// Structural problems detected while validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A channel has no producing component.
+    MissingProducer(ChannelId),
+    /// A channel has no consuming component.
+    MissingConsumer(ChannelId),
+    /// A channel is driven by more than one component.
+    DuplicateProducer(ChannelId),
+    /// A channel is consumed by more than one component.
+    DuplicateConsumer(ChannelId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MissingProducer(ch) => write!(f, "channel {ch} has no producer"),
+            NetlistError::MissingConsumer(ch) => write!(f, "channel {ch} has no consumer"),
+            NetlistError::DuplicateProducer(ch) => {
+                write!(f, "channel {ch} is driven by more than one component")
+            }
+            NetlistError::DuplicateConsumer(ch) => {
+                write!(f, "channel {ch} is consumed by more than one component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Runtime failures of a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The wire fixpoint did not converge, which indicates a combinational
+    /// cycle (a loop of channels with no elastic buffer on it).
+    CombinationalCycle {
+        /// Cycle number at which divergence was detected.
+        cycle: u64,
+    },
+    /// No token transferred and no component made internal progress for the
+    /// watchdog window; the circuit is deadlocked.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Human-readable description of where tokens are stuck.
+        detail: String,
+    },
+    /// The simulation exceeded its cycle budget without reaching quiescence.
+    Timeout {
+        /// The exhausted budget.
+        max_cycles: u64,
+    },
+    /// The netlist failed structural validation.
+    Structure(NetlistError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalCycle { cycle } => {
+                write!(f, "combinational cycle detected at cycle {cycle}: wire fixpoint did not converge (missing elastic buffer on a feedback path)")
+            }
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::Timeout { max_cycles } => {
+                write!(f, "simulation did not finish within {max_cycles} cycles")
+            }
+            SimError::Structure(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Structure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::Deadlock {
+            cycle: 10,
+            detail: "premature queue full".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock at cycle 10"));
+        assert!(s.contains("premature queue full"));
+    }
+
+    #[test]
+    fn structure_error_converts() {
+        let e: SimError = NetlistError::MissingProducer(ChannelId(3)).into();
+        assert!(matches!(e, SimError::Structure(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

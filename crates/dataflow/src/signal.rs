@@ -1,0 +1,262 @@
+//! Per-cycle wire state for valid/ready handshake channels.
+//!
+//! A latency-insensitive circuit resolves, every clock cycle, a set of
+//! combinational `valid` (producer has a token) and `ready` (consumer can
+//! take it) wires. The simulator computes them by *monotone fixpoint
+//! iteration*: all wires start low, component [`eval`] functions may only
+//! raise them, and evaluation repeats until no wire changes. A token is
+//! transferred on every channel whose `valid` and `ready` are both high at
+//! the fixpoint.
+//!
+//! Monotonicity of `valid`/`ready` guarantees termination. Token *data* is
+//! allowed to be rewritten during the fixpoint (e.g. a merge that first sees
+//! its second input and later discovers the first); iteration continues until
+//! data is stable too, so consumers always observe the final assignment.
+//!
+//! [`eval`]: crate::Component::eval
+
+use crate::token::Token;
+
+/// Identifies one point-to-point channel in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// Raw index of this channel, usable for per-channel bookkeeping tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a channel id from a raw index (e.g. when iterating all
+    /// channels of a netlist for visualization or tracing).
+    pub fn from_index(i: usize) -> Self {
+        ChannelId(i as u32)
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// The combinational wire state of every channel during one clock cycle.
+///
+/// Obtained by the engine; components interact with it inside
+/// [`Component::eval`](crate::Component::eval) and read the fixpoint result
+/// inside [`Component::commit`](crate::Component::commit).
+#[derive(Debug, Clone)]
+pub struct Signals {
+    valid: Vec<bool>,
+    ready: Vec<bool>,
+    data: Vec<Option<Token>>,
+    changed: bool,
+}
+
+impl Signals {
+    /// Creates wire state for `n` channels, all low.
+    pub fn new(n: usize) -> Self {
+        Signals {
+            valid: vec![false; n],
+            ready: vec![false; n],
+            data: vec![None; n],
+            changed: false,
+        }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// True if there are no channels.
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Resets all wires low at the start of a cycle.
+    pub(crate) fn reset(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.ready.iter_mut().for_each(|r| *r = false);
+        self.data.iter_mut().for_each(|d| *d = None);
+        self.changed = false;
+    }
+
+    /// Clears the change flag before one fixpoint sweep; returns the previous
+    /// value.
+    pub(crate) fn take_changed(&mut self) -> bool {
+        std::mem::replace(&mut self.changed, false)
+    }
+
+    /// Producer side: is a token offered on `ch` this cycle?
+    pub fn is_valid(&self, ch: ChannelId) -> bool {
+        self.valid[ch.index()]
+    }
+
+    /// Consumer side: is the consumer of `ch` willing to accept this cycle?
+    pub fn is_ready(&self, ch: ChannelId) -> bool {
+        self.ready[ch.index()]
+    }
+
+    /// The token currently offered on `ch`, if any.
+    pub fn token(&self, ch: ChannelId) -> Option<Token> {
+        self.data[ch.index()]
+    }
+
+    /// Did a transfer happen on `ch` this cycle (valid && ready)?
+    ///
+    /// Only meaningful after the fixpoint, i.e. inside
+    /// [`Component::commit`](crate::Component::commit).
+    pub fn fired(&self, ch: ChannelId) -> bool {
+        self.valid[ch.index()] && self.ready[ch.index()]
+    }
+
+    /// The token transferred on `ch` this cycle, if the channel fired.
+    pub fn taken(&self, ch: ChannelId) -> Option<Token> {
+        if self.fired(ch) {
+            self.data[ch.index()]
+        } else {
+            None
+        }
+    }
+
+    /// Producer drives a token on `ch` (raises `valid` and sets the data).
+    ///
+    /// Raising an already-high `valid` with identical data is a no-op;
+    /// rewriting the data is permitted (and flags another fixpoint sweep) so
+    /// that arbitrating components may revise their choice as more inputs
+    /// become visible. `valid` itself can never be lowered within a cycle.
+    pub fn drive(&mut self, ch: ChannelId, token: Token) {
+        let i = ch.index();
+        if !self.valid[i] || self.data[i] != Some(token) {
+            self.valid[i] = true;
+            self.data[i] = Some(token);
+            self.changed = true;
+        }
+    }
+
+    /// Consumer raises `ready` on `ch`.
+    pub fn accept(&mut self, ch: ChannelId) {
+        let i = ch.index();
+        if !self.ready[i] {
+            self.ready[i] = true;
+            self.changed = true;
+        }
+    }
+
+    /// Runs `eval` repeatedly until the wire state stops changing, up to
+    /// `max_sweeps` iterations — a public fixpoint helper for test benches
+    /// that drive components without the full engine. Returns `true` if the
+    /// state converged.
+    pub fn settle_with(
+        &mut self,
+        max_sweeps: usize,
+        mut eval: impl FnMut(&mut Signals),
+    ) -> bool {
+        for _ in 0..max_sweeps {
+            eval(self);
+            if !self.take_changed() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumer raises `ready` on `ch` if and only if `cond` holds.
+    ///
+    /// Convenience for the common pattern `if cond { sig.accept(ch) }`.
+    pub fn accept_if(&mut self, ch: ChannelId, cond: bool) {
+        if cond {
+            self.accept(ch);
+        }
+    }
+
+    /// Number of channels that fired this cycle.
+    pub(crate) fn count_fired(&self) -> u64 {
+        self.valid
+            .iter()
+            .zip(&self.ready)
+            .filter(|(v, r)| **v && **r)
+            .count() as u64
+    }
+
+    /// Number of channels stalled this cycle (valid but not ready).
+    pub(crate) fn count_stalled(&self) -> u64 {
+        self.valid
+            .iter()
+            .zip(&self.ready)
+            .filter(|(v, r)| **v && !**r)
+            .count() as u64
+    }
+
+    /// Adds 1 to `counts[ch]` for every channel stalled this cycle.
+    pub(crate) fn accumulate_stalls(&self, counts: &mut [u64]) {
+        for (i, (v, r)) in self.valid.iter().zip(&self.ready).enumerate() {
+            if *v && !*r {
+                counts[i] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(i: u32) -> ChannelId {
+        ChannelId(i)
+    }
+
+    #[test]
+    fn drive_raises_valid_and_sets_data() {
+        let mut s = Signals::new(2);
+        assert!(!s.is_valid(ch(0)));
+        s.drive(ch(0), Token::new(5, 0));
+        assert!(s.is_valid(ch(0)));
+        assert_eq!(s.token(ch(0)), Some(Token::new(5, 0)));
+        assert!(!s.is_valid(ch(1)));
+    }
+
+    #[test]
+    fn fired_requires_both_sides() {
+        let mut s = Signals::new(1);
+        s.drive(ch(0), Token::new(1, 0));
+        assert!(!s.fired(ch(0)));
+        s.accept(ch(0));
+        assert!(s.fired(ch(0)));
+        assert_eq!(s.taken(ch(0)), Some(Token::new(1, 0)));
+    }
+
+    #[test]
+    fn idempotent_drive_does_not_flag_change() {
+        let mut s = Signals::new(1);
+        s.drive(ch(0), Token::new(1, 0));
+        assert!(s.take_changed());
+        s.drive(ch(0), Token::new(1, 0));
+        assert!(!s.take_changed());
+        // Rewriting with different data flags a change.
+        s.drive(ch(0), Token::new(2, 0));
+        assert!(s.take_changed());
+    }
+
+    #[test]
+    fn reset_lowers_everything() {
+        let mut s = Signals::new(1);
+        s.drive(ch(0), Token::new(1, 0));
+        s.accept(ch(0));
+        s.reset();
+        assert!(!s.is_valid(ch(0)));
+        assert!(!s.is_ready(ch(0)));
+        assert_eq!(s.token(ch(0)), None);
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let mut s = Signals::new(3);
+        s.drive(ch(0), Token::new(1, 0));
+        s.accept(ch(0));
+        s.drive(ch(1), Token::new(2, 0));
+        assert_eq!(s.count_fired(), 1);
+        assert_eq!(s.count_stalled(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Simulation statistics and reports.
+
+use std::fmt;
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Total clock cycles executed until quiescence.
+    pub cycles: u64,
+    /// Total number of channel transfers (token movements).
+    pub transfers: u64,
+    /// Total channel-cycles spent stalled (valid but not ready).
+    pub stall_cycles: u64,
+    /// Number of pipeline squashes applied.
+    pub squashes: u64,
+    /// Total iterations that were replayed due to squashes.
+    pub replayed_iters: u64,
+}
+
+impl SimReport {
+    /// Average transfers per cycle — a crude activity measure.
+    pub fn activity(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.transfers as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} transfers ({:.2}/cycle), {} stall-cycles, {} squash(es), {} iter(s) replayed",
+            self.cycles,
+            self.transfers,
+            self.activity(),
+            self.stall_cycles,
+            self.squashes,
+            self.replayed_iters
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_handles_zero_cycles() {
+        let r = SimReport::default();
+        assert_eq!(r.activity(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_squashes() {
+        let r = SimReport {
+            cycles: 10,
+            transfers: 20,
+            stall_cycles: 3,
+            squashes: 2,
+            replayed_iters: 5,
+        };
+        let s = r.to_string();
+        assert!(s.contains("10 cycles"));
+        assert!(s.contains("2 squash"));
+    }
+}

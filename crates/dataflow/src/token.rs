@@ -1,0 +1,124 @@
+//! Tokens flowing through elastic channels.
+//!
+//! Every value travelling through a dataflow circuit is a [`Token`]: a scalar
+//! payload plus a [`Tag`] identifying which loop iteration produced it and in
+//! which squash *epoch*. Tags are what make pipeline squashes implementable:
+//! when premature value validation detects a mis-speculated load, every token
+//! belonging to an iteration at or beyond the faulting one is flushed, and the
+//! iteration source re-issues those iterations under a new epoch.
+
+use std::fmt;
+
+/// Scalar payload carried by a token.
+///
+/// The simulator models all datapath values as 64-bit signed integers, which
+/// is wide enough for the paper's kernels (32-bit data plus index arithmetic)
+/// while keeping the memory model exact (no floating-point rounding concerns
+/// when comparing a circuit run against its golden model).
+pub type Value = i64;
+
+/// Identifies the loop iteration (flattened over the whole nest) and squash
+/// epoch a token belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag {
+    /// Flattened iteration number: position of this iteration in the original
+    /// sequential program order, counted over the entire loop nest.
+    pub iter: u64,
+    /// Squash epoch. Incremented once per pipeline squash; tokens re-issued
+    /// after a squash carry the new epoch so stale and fresh tokens can never
+    /// be confused.
+    pub epoch: u32,
+}
+
+impl Tag {
+    /// Creates a tag for `iter` in epoch 0.
+    ///
+    /// ```
+    /// use prevv_dataflow::Tag;
+    /// let t = Tag::new(7);
+    /// assert_eq!(t.iter, 7);
+    /// assert_eq!(t.epoch, 0);
+    /// ```
+    pub fn new(iter: u64) -> Self {
+        Tag { iter, epoch: 0 }
+    }
+
+    /// Creates a tag with an explicit epoch.
+    pub fn with_epoch(iter: u64, epoch: u32) -> Self {
+        Tag { iter, epoch }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}e{}", self.iter, self.epoch)
+    }
+}
+
+/// A value plus its tag: the unit of exchange on every channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Token {
+    /// Scalar payload.
+    pub value: Value,
+    /// Iteration/epoch identification.
+    pub tag: Tag,
+}
+
+impl Token {
+    /// Creates a token carrying `value` for iteration `iter` in epoch 0.
+    ///
+    /// ```
+    /// use prevv_dataflow::Token;
+    /// let t = Token::new(42, 3);
+    /// assert_eq!(t.value, 42);
+    /// assert_eq!(t.tag.iter, 3);
+    /// ```
+    pub fn new(value: Value, iter: u64) -> Self {
+        Token {
+            value,
+            tag: Tag::new(iter),
+        }
+    }
+
+    /// Creates a token with a fully specified tag.
+    pub fn tagged(value: Value, tag: Tag) -> Self {
+        Token { value, tag }
+    }
+
+    /// Returns a copy of this token with a different payload but the same tag.
+    pub fn with_value(self, value: Value) -> Self {
+        Token { value, ..self }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_ordering_is_iteration_major() {
+        let a = Tag::with_epoch(1, 5);
+        let b = Tag::with_epoch(2, 0);
+        assert!(a < b, "iteration dominates epoch in ordering");
+    }
+
+    #[test]
+    fn token_with_value_preserves_tag() {
+        let t = Token::tagged(10, Tag::with_epoch(4, 2));
+        let u = t.with_value(99);
+        assert_eq!(u.value, 99);
+        assert_eq!(u.tag, t.tag);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Token::new(-3, 8);
+        assert_eq!(t.to_string(), "-3@i8e0");
+    }
+}

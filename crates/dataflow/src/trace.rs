@@ -1,0 +1,293 @@
+//! Cycle-by-cycle channel traces — the simulator's answer to a waveform
+//! viewer.
+//!
+//! A [`TraceRecorder`] samples selected channels after every wire fixpoint
+//! and stores the transfers it saw. Use it to debug stalls ("which channel
+//! stopped firing first?") or to assert fine-grained timing properties in
+//! tests. Rendering as ASCII art ([`ChannelTrace::render`]) gives a compact
+//! `waveform`:
+//!
+//! ```text
+//! ch3  ..T.T.T.T.....T
+//! ```
+//!
+//! (`T` = transfer, `s` = stalled [valid but not ready], `.` = idle.)
+
+use crate::signal::{ChannelId, Signals};
+use crate::token::Token;
+
+/// What one channel did in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelEvent {
+    /// No token offered.
+    Idle,
+    /// A token was offered but the consumer was not ready.
+    Stalled(Token),
+    /// A token transferred.
+    Fired(Token),
+}
+
+impl ChannelEvent {
+    /// The glyph used by [`ChannelTrace::render`].
+    pub fn glyph(&self) -> char {
+        match self {
+            ChannelEvent::Idle => '.',
+            ChannelEvent::Stalled(_) => 's',
+            ChannelEvent::Fired(_) => 'T',
+        }
+    }
+}
+
+/// The recorded history of one channel.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelTrace {
+    events: Vec<ChannelEvent>,
+}
+
+impl ChannelTrace {
+    /// All events, one per sampled cycle.
+    pub fn events(&self) -> &[ChannelEvent] {
+        &self.events
+    }
+
+    /// The tokens that transferred, with the cycle index of each transfer.
+    pub fn transfers(&self) -> impl Iterator<Item = (usize, Token)> + '_ {
+        self.events.iter().enumerate().filter_map(|(i, e)| match e {
+            ChannelEvent::Fired(t) => Some((i, *t)),
+            _ => None,
+        })
+    }
+
+    /// Number of transfers recorded.
+    pub fn fired_count(&self) -> usize {
+        self.transfers().count()
+    }
+
+    /// Number of stalled cycles recorded.
+    pub fn stall_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ChannelEvent::Stalled(_)))
+            .count()
+    }
+
+    /// ASCII waveform of the channel's activity.
+    pub fn render(&self) -> String {
+        self.events.iter().map(ChannelEvent::glyph).collect()
+    }
+}
+
+/// Samples a set of channels every cycle.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    channels: Vec<ChannelId>,
+    traces: Vec<ChannelTrace>,
+    cycles: usize,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder watching `channels`.
+    pub fn new(channels: Vec<ChannelId>) -> Self {
+        let traces = vec![ChannelTrace::default(); channels.len()];
+        TraceRecorder {
+            channels,
+            traces,
+            cycles: 0,
+        }
+    }
+
+    /// Watched channels.
+    pub fn channels(&self) -> &[ChannelId] {
+        &self.channels
+    }
+
+    /// Cycles sampled so far.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Samples the wire state at the end of a cycle's fixpoint (called by
+    /// the engine).
+    pub fn sample(&mut self, sig: &Signals) {
+        for (k, &ch) in self.channels.iter().enumerate() {
+            let ev = if sig.fired(ch) {
+                ChannelEvent::Fired(sig.token(ch).expect("fired implies token"))
+            } else if sig.is_valid(ch) {
+                ChannelEvent::Stalled(sig.token(ch).expect("valid implies token"))
+            } else {
+                ChannelEvent::Idle
+            };
+            self.traces[k].events.push(ev);
+        }
+        self.cycles += 1;
+    }
+
+    /// The trace of a watched channel (`None` if it was not watched).
+    pub fn trace(&self, ch: ChannelId) -> Option<&ChannelTrace> {
+        self.channels
+            .iter()
+            .position(|&c| c == ch)
+            .map(|i| &self.traces[i])
+    }
+
+    /// Renders all traces as labeled waveforms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, &ch) in self.channels.iter().enumerate() {
+            out.push_str(&format!("{ch:>6}  {}\n", self.traces[k].render()));
+        }
+        out
+    }
+}
+
+/// Renders a recorder's history as a Value Change Dump (IEEE 1364 VCD) —
+/// loadable in GTKWave or any waveform viewer. Each watched channel becomes
+/// three signals: `<ch>_valid`, `<ch>_ready` (1-bit, reconstructed from the
+/// event classification) and `<ch>_data` (64-bit payload).
+///
+/// ```
+/// use prevv_dataflow::trace::{to_vcd, TraceRecorder};
+/// use prevv_dataflow::{ChannelId, Signals, Token};
+///
+/// let mut rec = TraceRecorder::new(vec![ChannelId::from_index(0)]);
+/// let mut sig = Signals::new(1);
+/// sig.drive(ChannelId::from_index(0), Token::new(5, 0));
+/// sig.accept(ChannelId::from_index(0));
+/// rec.sample(&sig);
+/// let vcd = to_vcd(&rec, "prevv_sim");
+/// assert!(vcd.contains("$var wire 64"));
+/// assert!(vcd.contains("#0"));
+/// ```
+pub fn to_vcd(rec: &TraceRecorder, module: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "$timescale 1ns $end");
+    let _ = writeln!(out, "$scope module {module} $end");
+    // VCD identifier codes: printable ASCII starting at '!'.
+    let code = |k: usize, field: usize| -> String {
+        let c = char::from(b'!' + (k as u8 % 90));
+        format!("{c}{field}")
+    };
+    for (k, ch) in rec.channels().iter().enumerate() {
+        let _ = writeln!(out, "$var wire 1 {} {ch}_valid $end", code(k, 0));
+        let _ = writeln!(out, "$var wire 1 {} {ch}_ready $end", code(k, 1));
+        let _ = writeln!(out, "$var wire 64 {} {ch}_data $end", code(k, 2));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    let mut last: Vec<Option<ChannelEvent>> = vec![None; rec.channels().len()];
+    for cycle in 0..rec.cycles() {
+        let mut changes = String::new();
+        for (k, &ch) in rec.channels().iter().enumerate() {
+            let ev = rec.trace(ch).expect("watched").events()[cycle];
+            if last[k] == Some(ev) {
+                continue;
+            }
+            let (valid, ready, data) = match ev {
+                ChannelEvent::Idle => (0, 0, None),
+                ChannelEvent::Stalled(t) => (1, 0, Some(t.value)),
+                ChannelEvent::Fired(t) => (1, 1, Some(t.value)),
+            };
+            let _ = writeln!(changes, "{valid}{}", code(k, 0));
+            let _ = writeln!(changes, "{ready}{}", code(k, 1));
+            if let Some(v) = data {
+                let _ = writeln!(changes, "b{:b} {}", v as u64, code(k, 2));
+            }
+            last[k] = Some(ev);
+        }
+        if !changes.is_empty() {
+            let _ = writeln!(out, "#{cycle}");
+            out.push_str(&changes);
+        }
+    }
+    let _ = writeln!(out, "#{}", rec.cycles());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Token;
+
+    fn ch(i: u32) -> ChannelId {
+        ChannelId::from_index(i as usize)
+    }
+
+    #[test]
+    fn recorder_classifies_events() {
+        let mut rec = TraceRecorder::new(vec![ch(0), ch(1)]);
+        let mut sig = Signals::new(2);
+        sig.drive(ch(0), Token::new(5, 0));
+        sig.accept(ch(0));
+        sig.drive(ch(1), Token::new(7, 0)); // stalled
+        rec.sample(&sig);
+        let mut sig = Signals::new(2);
+        sig.drive(ch(1), Token::new(7, 0));
+        sig.accept(ch(1));
+        rec.sample(&sig);
+
+        let t0 = rec.trace(ch(0)).expect("watched");
+        assert_eq!(t0.render(), "T.");
+        assert_eq!(t0.fired_count(), 1);
+        let t1 = rec.trace(ch(1)).expect("watched");
+        assert_eq!(t1.render(), "sT");
+        assert_eq!(t1.stall_count(), 1);
+        assert_eq!(
+            t1.transfers().collect::<Vec<_>>(),
+            vec![(1, Token::new(7, 0))]
+        );
+        assert_eq!(rec.cycles(), 2);
+    }
+
+    #[test]
+    fn unwatched_channel_returns_none() {
+        let rec = TraceRecorder::new(vec![ch(0)]);
+        assert!(rec.trace(ch(9)).is_none());
+    }
+
+    #[test]
+    fn vcd_export_tracks_value_changes() {
+        let mut rec = TraceRecorder::new(vec![ChannelId::from_index(0)]);
+        // Cycle 0: fired with 5; cycle 1: idle; cycle 2: stalled with 7.
+        let mut sig = Signals::new(1);
+        sig.drive(ChannelId::from_index(0), Token::new(5, 0));
+        sig.accept(ChannelId::from_index(0));
+        rec.sample(&sig);
+        let sig = Signals::new(1);
+        rec.sample(&sig);
+        let mut sig = Signals::new(1);
+        sig.drive(ChannelId::from_index(0), Token::new(7, 2));
+        rec.sample(&sig);
+
+        let vcd = to_vcd(&rec, "tb");
+        assert!(vcd.contains("$scope module tb $end"));
+        assert!(vcd.contains("ch0_valid"));
+        assert!(vcd.contains("b101 "), "5 in binary at cycle 0: {vcd}");
+        assert!(vcd.contains("b111 "), "7 in binary at cycle 2");
+        // Three timestamps with changes plus the closing timestamp.
+        assert_eq!(vcd.matches('#').count(), 4);
+    }
+
+    #[test]
+    fn vcd_skips_cycles_without_changes() {
+        let mut rec = TraceRecorder::new(vec![ChannelId::from_index(0)]);
+        for _ in 0..5 {
+            let sig = Signals::new(1);
+            rec.sample(&sig);
+        }
+        let vcd = to_vcd(&rec, "tb");
+        // Only the initial change (to idle) and the final timestamp.
+        assert_eq!(vcd.matches('#').count(), 2, "{vcd}");
+    }
+
+    #[test]
+    fn render_labels_rows() {
+        let mut rec = TraceRecorder::new(vec![ch(2)]);
+        let sig = Signals::new(3);
+        rec.sample(&sig);
+        let s = rec.render();
+        assert!(s.contains("ch2"));
+        assert!(s.trim_end().ends_with('.'));
+    }
+}

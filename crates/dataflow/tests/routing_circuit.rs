@@ -1,0 +1,105 @@
+//! Integration of the N-way routing components inside a running circuit:
+//! tokens are demuxed by parity into two differently buffered paths and
+//! recombined by a control merge whose index stream is checked against the
+//! data stream.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prevv_dataflow::components::{
+    BinOp, BinaryAlu, Buffer, Constant, ControlMerge, Demux, Fork, IterSource, Sink,
+};
+use prevv_dataflow::{Netlist, Simulator, SquashBus, Token};
+
+type Collected = Rc<RefCell<Vec<Token>>>;
+
+/// source i → fork → [demux by i%2] → buffer(1) / buffer(4) → control merge
+/// → sinks collecting (data, index).
+fn build() -> (Netlist, SquashBus, Collected, Collected) {
+    let mut net = Netlist::new();
+    let bus = SquashBus::new();
+    let src = net.channel();
+    let data_in = net.channel();
+    let sel_trig = net.channel();
+    let sel_buf = net.channel();
+    let rem_lhs = net.channel();
+    let two_trig = net.channel();
+    let two = net.channel();
+    let parity = net.channel();
+    let even = net.channel();
+    let odd = net.channel();
+    let even_b = net.channel();
+    let odd_b = net.channel();
+    let merged = net.channel();
+    let index = net.channel();
+
+    net.add(
+        "src",
+        IterSource::new((0..16).map(|i| vec![i]).collect(), vec![src], bus.clone()),
+    );
+    net.add("fork", Fork::new(src, vec![data_in, sel_trig]));
+    net.add("selbuf", Buffer::new(4, sel_trig, sel_buf));
+    net.add("fork2", Fork::new(sel_buf, vec![rem_lhs, two_trig]));
+    net.add("two", Constant::new(2, two_trig, two));
+    net.add(
+        "rem",
+        BinaryAlu::with_latency(BinOp::Rem, 1, rem_lhs, two, parity),
+    );
+    net.add("demux", Demux::new(data_in, parity, vec![even, odd]));
+    net.add("ebuf", Buffer::new(1, even, even_b));
+    net.add("obuf", Buffer::new(4, odd, odd_b));
+    net.add(
+        "cmerge",
+        ControlMerge::new(vec![even_b, odd_b], merged, index),
+    );
+    let (dsink, data) = Sink::collecting(vec![merged]);
+    let (isink, idx) = Sink::collecting(vec![index]);
+    net.add("dsink", dsink);
+    net.add("isink", isink);
+    (net, bus, data, idx)
+}
+
+#[test]
+fn demux_and_control_merge_round_trip_every_token() {
+    let (net, bus, data, idx) = build();
+    let mut sim = Simulator::new(net, bus).expect("valid netlist");
+    sim.run().expect("completes");
+
+    let data = data.borrow();
+    let idx = idx.borrow();
+    assert_eq!(data.len(), 16, "every iteration's token arrives");
+    assert_eq!(idx.len(), 16);
+
+    // Each data token's parity must match the control merge's index for the
+    // same iteration (pair by tag, as a real consumer would).
+    for d in data.iter() {
+        let i = idx
+            .iter()
+            .find(|t| t.tag.iter == d.tag.iter)
+            .expect("paired index token");
+        assert_eq!(
+            d.value % 2,
+            i.value,
+            "token {} came out of the wrong merge input",
+            d.value
+        );
+    }
+    // All sixteen distinct values arrived.
+    let mut values: Vec<i64> = data.iter().map(|t| t.value).collect();
+    values.sort_unstable();
+    assert_eq!(values, (0..16).collect::<Vec<i64>>());
+}
+
+#[test]
+fn uneven_buffering_does_not_lose_or_duplicate_tokens() {
+    // Run several times (deterministic, but the structure exercises the
+    // partial-delivery paths of the control merge under backpressure from
+    // the depth-1 even buffer).
+    for _ in 0..3 {
+        let (net, bus, data, _) = build();
+        let mut sim = Simulator::new(net, bus).expect("valid");
+        let report = sim.run().expect("completes");
+        assert_eq!(data.borrow().len(), 16);
+        assert!(report.cycles < 200, "routing must not serialize badly");
+    }
+}

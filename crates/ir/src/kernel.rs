@@ -1,0 +1,388 @@
+//! Kernel specifications: a loop nest plus a straight-line body of guarded
+//! update statements — the input language of the synthesizer, standing in
+//! for the C kernels the paper compiles with Dynamatic.
+
+use prevv_dataflow::components::{iteration_space, LoopLevel};
+use prevv_dataflow::Value;
+
+use crate::expr::{ArrayId, Expr};
+
+/// How an array's initial contents are produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayInit {
+    /// All zeros.
+    Zero,
+    /// Explicit values (length must equal the declared length).
+    Values(Vec<Value>),
+}
+
+/// One array declared by a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// Number of words.
+    pub len: usize,
+    /// Initial contents.
+    pub init: ArrayInit,
+}
+
+impl ArrayDecl {
+    /// Declares a zero-initialized array.
+    pub fn zeroed(name: impl Into<String>, len: usize) -> Self {
+        ArrayDecl {
+            name: name.into(),
+            len,
+            init: ArrayInit::Zero,
+        }
+    }
+
+    /// Declares an array with explicit initial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from `len`.
+    pub fn with_values(name: impl Into<String>, values: Vec<Value>) -> Self {
+        ArrayDecl {
+            name: name.into(),
+            len: values.len(),
+            init: ArrayInit::Values(values),
+        }
+    }
+
+    /// Materializes the initial contents.
+    pub fn initial(&self) -> Vec<Value> {
+        match &self.init {
+            ArrayInit::Zero => vec![0; self.len],
+            ArrayInit::Values(v) => v.clone(),
+        }
+    }
+}
+
+/// A guarded store statement: `if guard { array[index] = value }`.
+///
+/// All memory traffic in a kernel comes from these statements: the loads are
+/// the `Expr::Load` nodes inside `index` and `value`, and the store is the
+/// statement itself. Read-modify-write updates (`a[x] += v`) are expressed
+/// by loading inside `value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Target array.
+    pub array: ArrayId,
+    /// Index expression (reduced modulo the array length, see
+    /// [`KernelSpec::resolve_index`]).
+    pub index: Expr,
+    /// Value expression.
+    pub value: Expr,
+    /// Optional guard: the statement executes only when this evaluates
+    /// nonzero. Guarded statements are what create the deadlock hazard of
+    /// paper §V-C.
+    pub guard: Option<Expr>,
+}
+
+impl Stmt {
+    /// An unguarded store.
+    pub fn store(array: ArrayId, index: Expr, value: Expr) -> Self {
+        Stmt {
+            array,
+            index,
+            value,
+            guard: None,
+        }
+    }
+
+    /// A guarded store.
+    pub fn guarded(array: ArrayId, index: Expr, value: Expr, guard: Expr) -> Self {
+        Stmt {
+            array,
+            index,
+            value,
+            guard: Some(guard),
+        }
+    }
+
+    /// Memory operations of this statement in canonical program order:
+    /// loads of the index expression, loads of the value expression, then
+    /// the store itself. Guard-expression loads are not supported (guards
+    /// must be affine), which [`KernelSpec::validate`] enforces.
+    pub fn mem_op_count(&self) -> usize {
+        self.index.loads().len() + self.value.loads().len() + 1
+    }
+}
+
+/// A complete kernel: loop nest, arrays, and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Kernel name (reports and labels).
+    pub name: String,
+    /// Loop levels, outermost first. The iteration space is their product,
+    /// possibly triangular via [`prevv_dataflow::components::Bound`].
+    pub levels: Vec<LoopLevel>,
+    /// Declared arrays, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayDecl>,
+    /// Straight-line body executed once per innermost iteration.
+    pub body: Vec<Stmt>,
+}
+
+/// Problems detected by [`KernelSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A statement references an undeclared array.
+    UnknownArray(ArrayId),
+    /// An induction variable deeper than the loop nest is referenced.
+    UnknownIndVar(usize),
+    /// A guard expression touches memory or opaque functions.
+    NonAffineGuard(usize),
+    /// The kernel has no loop levels.
+    NoLoops,
+    /// The kernel body is empty.
+    EmptyBody,
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::UnknownArray(a) => write!(f, "statement references undeclared {a}"),
+            KernelError::UnknownIndVar(l) => {
+                write!(f, "induction variable level {l} exceeds loop nest depth")
+            }
+            KernelError::NonAffineGuard(s) => {
+                write!(f, "guard of statement {s} must be an affine expression")
+            }
+            KernelError::NoLoops => write!(f, "kernel has no loop levels"),
+            KernelError::EmptyBody => write!(f, "kernel body is empty"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl KernelSpec {
+    /// Creates a kernel and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`KernelError`] found.
+    pub fn new(
+        name: impl Into<String>,
+        levels: Vec<LoopLevel>,
+        arrays: Vec<ArrayDecl>,
+        body: Vec<Stmt>,
+    ) -> Result<Self, KernelError> {
+        let spec = KernelSpec {
+            name: name.into(),
+            levels,
+            arrays,
+            body,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks referential integrity of the kernel.
+    ///
+    /// # Errors
+    ///
+    /// See [`KernelError`].
+    pub fn validate(&self) -> Result<(), KernelError> {
+        if self.levels.is_empty() {
+            return Err(KernelError::NoLoops);
+        }
+        if self.body.is_empty() {
+            return Err(KernelError::EmptyBody);
+        }
+        for (si, stmt) in self.body.iter().enumerate() {
+            self.check_expr(&stmt.index)?;
+            self.check_expr(&stmt.value)?;
+            if stmt.array.0 >= self.arrays.len() {
+                return Err(KernelError::UnknownArray(stmt.array));
+            }
+            if let Some(g) = &stmt.guard {
+                self.check_expr(g)?;
+                if g.is_runtime_dependent() {
+                    return Err(KernelError::NonAffineGuard(si));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_expr(&self, e: &Expr) -> Result<(), KernelError> {
+        match e {
+            Expr::Const(_) => Ok(()),
+            Expr::IndVar(l) => {
+                if *l >= self.levels.len() {
+                    Err(KernelError::UnknownIndVar(*l))
+                } else {
+                    Ok(())
+                }
+            }
+            Expr::Load(a, idx) => {
+                if a.0 >= self.arrays.len() {
+                    return Err(KernelError::UnknownArray(*a));
+                }
+                self.check_expr(idx)
+            }
+            Expr::Binary(_, l, r) => {
+                self.check_expr(l)?;
+                self.check_expr(r)
+            }
+            Expr::Opaque(_, x) => self.check_expr(x),
+        }
+    }
+
+    /// The full iteration space in program order.
+    pub fn iteration_space(&self) -> Vec<Vec<Value>> {
+        iteration_space(&self.levels)
+    }
+
+    /// Total number of innermost iterations.
+    pub fn iteration_count(&self) -> usize {
+        self.iteration_space().len()
+    }
+
+    /// Memory operations per iteration (loads + stores over all statements,
+    /// ignoring guards).
+    pub fn mem_ops_per_iter(&self) -> usize {
+        self.body.iter().map(Stmt::mem_op_count).sum()
+    }
+
+    /// Reduces a raw index into the valid range of `array` (Euclidean
+    /// remainder, so negative indices wrap). Opaque index functions can
+    /// produce arbitrary values; both the golden interpreter and the
+    /// synthesized circuit apply this same reduction so results always
+    /// agree.
+    pub fn resolve_index(&self, array: ArrayId, raw: Value) -> usize {
+        let len = self.arrays[array.0].len as Value;
+        raw.rem_euclid(len) as usize
+    }
+
+    /// Total datapath operator count (for area estimation).
+    pub fn datapath_op_count(&self) -> usize {
+        self.body
+            .iter()
+            .map(|s| {
+                s.index.op_count()
+                    + s.value.op_count()
+                    + s.guard.as_ref().map_or(0, Expr::op_count)
+            })
+            .sum()
+    }
+
+    /// Multiplier-class operator count (for area estimation).
+    pub fn datapath_mul_count(&self) -> usize {
+        self.body
+            .iter()
+            .map(|s| {
+                s.index.mul_count()
+                    + s.value.mul_count()
+                    + s.guard.as_ref().map_or(0, Expr::mul_count)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prevv_dataflow::components::{Bound, LoopLevel};
+
+    fn toy() -> KernelSpec {
+        // for i in 0..4 { a[b[i]] += 1; b[i] += 2 }  (paper Fig. 2a)
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        KernelSpec::new(
+            "fig2a",
+            vec![LoopLevel::upto(4)],
+            vec![
+                ArrayDecl::zeroed("a", 8),
+                ArrayDecl::with_values("b", vec![0, 1, 2, 3]),
+            ],
+            vec![
+                Stmt::store(
+                    a,
+                    Expr::load(b, Expr::var(0)),
+                    Expr::load(a, Expr::load(b, Expr::var(0))).add(Expr::lit(1)),
+                ),
+                Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(2))),
+            ],
+        )
+        .expect("valid kernel")
+    }
+
+    #[test]
+    fn validation_accepts_well_formed() {
+        let k = toy();
+        assert_eq!(k.iteration_count(), 4);
+        // stmt 0: loads b[i], b[i] (in value), a[b[i]] + store = 4 ops;
+        // stmt 1: load b[i] + store = 2 ops
+        assert_eq!(k.mem_ops_per_iter(), 6);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_array() {
+        let r = KernelSpec::new(
+            "bad",
+            vec![LoopLevel::upto(2)],
+            vec![ArrayDecl::zeroed("a", 4)],
+            vec![Stmt::store(ArrayId(3), Expr::var(0), Expr::lit(1))],
+        );
+        assert_eq!(r.unwrap_err(), KernelError::UnknownArray(ArrayId(3)));
+    }
+
+    #[test]
+    fn validation_rejects_deep_indvar() {
+        let r = KernelSpec::new(
+            "bad",
+            vec![LoopLevel::upto(2)],
+            vec![ArrayDecl::zeroed("a", 4)],
+            vec![Stmt::store(ArrayId(0), Expr::var(2), Expr::lit(1))],
+        );
+        assert_eq!(r.unwrap_err(), KernelError::UnknownIndVar(2));
+    }
+
+    #[test]
+    fn validation_rejects_memory_guard() {
+        let a = ArrayId(0);
+        let r = KernelSpec::new(
+            "bad",
+            vec![LoopLevel::upto(2)],
+            vec![ArrayDecl::zeroed("a", 4)],
+            vec![Stmt::guarded(
+                a,
+                Expr::var(0),
+                Expr::lit(1),
+                Expr::load(a, Expr::var(0)),
+            )],
+        );
+        assert_eq!(r.unwrap_err(), KernelError::NonAffineGuard(0));
+    }
+
+    #[test]
+    fn resolve_index_wraps_euclidean() {
+        let k = toy();
+        assert_eq!(k.resolve_index(ArrayId(0), 9), 1);
+        assert_eq!(k.resolve_index(ArrayId(0), -1), 7);
+    }
+
+    #[test]
+    fn triangular_nest_counts() {
+        let k = KernelSpec::new(
+            "tri",
+            vec![
+                LoopLevel::upto(4),
+                LoopLevel::new(Bound::OuterPlus(0, 0), Bound::Const(4)),
+            ],
+            vec![ArrayDecl::zeroed("a", 16)],
+            vec![Stmt::store(
+                ArrayId(0),
+                Expr::var(0).mul(Expr::lit(4)).add(Expr::var(1)),
+                Expr::lit(1),
+            )],
+        )
+        .expect("valid");
+        assert_eq!(k.iteration_count(), 10);
+        assert_eq!(k.datapath_op_count(), 2);
+        assert_eq!(k.datapath_mul_count(), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! C-like rendering of kernels — what the paper's HLS input would look
+//! like, reconstructed from the IR. Used by reports, examples, and error
+//! messages.
+
+use std::fmt::Write;
+
+use crate::expr::Expr;
+use crate::kernel::{ArrayInit, KernelSpec};
+use prevv_dataflow::components::Bound;
+
+/// Renders a kernel as pseudo-C.
+///
+/// ```
+/// use prevv_ir::{pretty, ArrayDecl, ArrayId, Expr, KernelSpec, Stmt};
+/// use prevv_dataflow::components::LoopLevel;
+///
+/// # fn main() -> Result<(), prevv_ir::KernelError> {
+/// let a = ArrayId(0);
+/// let k = KernelSpec::new(
+///     "inc",
+///     vec![LoopLevel::upto(8)],
+///     vec![ArrayDecl::zeroed("a", 8)],
+///     vec![Stmt::store(a, Expr::var(0), Expr::load(a, Expr::var(0)).add(Expr::lit(1)))],
+/// )?;
+/// let src = pretty::render(&k);
+/// assert!(src.contains("for (int i = 0; i < 8; ++i)"));
+/// assert!(src.contains("a[i] = (a[i] + 1);"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(spec: &KernelSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// kernel: {}", spec.name);
+    for a in &spec.arrays {
+        match &a.init {
+            ArrayInit::Zero => {
+                let _ = writeln!(out, "int {}[{}];", a.name, a.len);
+            }
+            ArrayInit::Values(v) => {
+                let vals = v
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "int {}[{}] = {{ {vals} }};", a.name, a.len);
+            }
+        }
+    }
+    let names = ["i", "j", "k", "l", "m", "n"];
+    for (lvl, level) in spec.levels.iter().enumerate() {
+        let v = names.get(lvl).copied().unwrap_or("v");
+        let lo = bound(&level.lo, &names);
+        let hi = bound(&level.hi, &names);
+        let _ = writeln!(
+            out,
+            "{}for (int {v} = {lo}; {v} < {hi}; ++{v}) {{",
+            "  ".repeat(lvl)
+        );
+    }
+    let body_indent = "  ".repeat(spec.levels.len());
+    for stmt in &spec.body {
+        let target = &spec.arrays[stmt.array.0].name;
+        let idx = expr(&stmt.index, spec);
+        let val = expr(&stmt.value, spec);
+        match &stmt.guard {
+            Some(g) => {
+                let _ = writeln!(
+                    out,
+                    "{body_indent}if ({}) {target}[{idx}] = {val};",
+                    expr(g, spec)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{body_indent}{target}[{idx}] = {val};");
+            }
+        }
+    }
+    for lvl in (0..spec.levels.len()).rev() {
+        let _ = writeln!(out, "{}}}", "  ".repeat(lvl));
+    }
+    out
+}
+
+fn bound(b: &Bound, names: &[&str]) -> String {
+    match b {
+        Bound::Const(c) => c.to_string(),
+        Bound::OuterPlus(level, off) => {
+            let v = names.get(*level).copied().unwrap_or("v");
+            match off {
+                0 => v.to_string(),
+                o if *o > 0 => format!("{v} + {o}"),
+                o => format!("{v} - {}", -o),
+            }
+        }
+    }
+}
+
+fn expr(e: &Expr, spec: &KernelSpec) -> String {
+    let names = ["i", "j", "k", "l", "m", "n"];
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::IndVar(l) => names.get(*l).copied().unwrap_or("v").to_string(),
+        Expr::Load(a, idx) => {
+            format!("{}[{}]", spec.arrays[a.0].name, expr(idx, spec))
+        }
+        Expr::Binary(op, l, r) => {
+            use prevv_dataflow::components::BinOp as B;
+            let sym = match op {
+                B::Add => "+",
+                B::Sub => "-",
+                B::Mul => "*",
+                B::Div => "/",
+                B::Rem => "%",
+                B::And => "&",
+                B::Or => "|",
+                B::Xor => "^",
+                B::Shl => "<<",
+                B::Shr => ">>",
+                B::Eq => "==",
+                B::Ne => "!=",
+                B::Lt => "<",
+                B::Le => "<=",
+                B::Gt => ">",
+                B::Ge => ">=",
+                B::Min | B::Max => {
+                    return format!(
+                        "{}({}, {})",
+                        if *op == B::Min { "min" } else { "max" },
+                        expr(l, spec),
+                        expr(r, spec)
+                    );
+                }
+                // `BinOp` is non-exhaustive; render unknown future ops
+                // generically rather than failing.
+                other => {
+                    return format!("{other}({}, {})", expr(l, spec), expr(r, spec));
+                }
+            };
+            format!("({} {sym} {})", expr(l, spec), expr(r, spec))
+        }
+        // The `h<seed>_<modulus>(...)` spelling round-trips through the
+        // parser (`prevv_ir::parse`).
+        Expr::Opaque(f, x) => format!("h{}_{}({})", f.seed, f.modulus, expr(x, spec)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ArrayId, OpaqueFn};
+    use crate::kernel::{ArrayDecl, Stmt};
+    use prevv_dataflow::components::{BinOp, LoopLevel};
+
+    #[test]
+    fn renders_guarded_triangular_kernel() {
+        let a = ArrayId(0);
+        let k = KernelSpec::new(
+            "demo",
+            vec![
+                LoopLevel::upto(4),
+                LoopLevel::new(Bound::OuterPlus(0, 1), Bound::Const(4)),
+            ],
+            vec![ArrayDecl::zeroed("a", 16)],
+            vec![Stmt::guarded(
+                a,
+                Expr::var(0).mul(Expr::lit(4)).add(Expr::var(1)),
+                Expr::lit(1),
+                Expr::bin(BinOp::Gt, Expr::var(1), Expr::lit(2)),
+            )],
+        )
+        .expect("valid");
+        let src = render(&k);
+        assert!(src.contains("for (int i = 0; i < 4; ++i) {"));
+        assert!(src.contains("for (int j = i + 1; j < 4; ++j) {"));
+        assert!(src.contains("if ((j > 2)) a[((i * 4) + j)] = 1;"));
+        assert_eq!(src.matches('}').count(), 2);
+    }
+
+    #[test]
+    fn renders_opaque_functions() {
+        let a = ArrayId(0);
+        let k = KernelSpec::new(
+            "h",
+            vec![LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("h", 8)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0).opaque(OpaqueFn::new(0xAB, 8)),
+                Expr::lit(1),
+            )],
+        )
+        .expect("valid");
+        let src = render(&k);
+        assert!(src.contains("h[h171_8(i)] = 1;"), "{src}");
+        // And it round-trips through the parser.
+        let body: String = src.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let reparsed = crate::parse::parse_kernel("h2", &body).expect("round-trips");
+        assert_eq!(
+            crate::golden::execute(&k).arrays,
+            crate::golden::execute(&reparsed).arrays
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Parser robustness: `parse_kernel` must never panic, and on valid inputs
+//! it must agree with the pretty-printer (parse ∘ render = identity on
+//! semantics).
+
+use proptest::prelude::*;
+
+use prevv_ir::parse::parse_kernel;
+use prevv_ir::{golden, pretty};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte soup: the parser returns an error, never panics.
+    #[test]
+    fn parser_never_panics_on_garbage(src in ".*") {
+        let _ = parse_kernel("fuzz", &src);
+    }
+
+    /// Structured-ish soup assembled from language fragments — much more
+    /// likely to get deep into the parser than raw bytes.
+    #[test]
+    fn parser_never_panics_on_fragment_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("int a[4];"),
+                Just("int a[4] = { 1, 2, 3, 4 };"),
+                Just("for (int i = 0; i < 4; ++i) {"),
+                Just("}"),
+                Just("a[i] += 1;"),
+                Just("a[i] = h3_4(i);"),
+                Just("if (i % 2 == 0)"),
+                Just("b[j]"),
+                Just("= = ="),
+                Just("(("),
+                Just("-"),
+                Just("int"),
+            ],
+            0..12,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = parse_kernel("soup", &src);
+    }
+}
+
+/// Deterministic render→parse round trips over a corpus of real kernels.
+#[test]
+fn corpus_round_trips() {
+    use prevv_kernels::{extra, paper, suite};
+    let corpus = vec![
+        paper::polyn_mult(6),
+        paper::mm2(3),
+        paper::gaussian(4),
+        paper::triangular(4),
+        extra::fig2b(8, 4),
+        extra::guarded_update(12, 3),
+        extra::histogram(16, 4, 3),
+        suite::stencil1d(8, 1, 2),
+    ];
+    for spec in corpus {
+        let rendered = pretty::render(&spec);
+        let body: String = rendered
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("//"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_kernel(&spec.name, &body)
+            .unwrap_or_else(|e| panic!("{}: {e}\nsource:\n{body}", spec.name));
+        assert_eq!(
+            golden::execute(&spec).arrays,
+            golden::execute(&reparsed).arrays,
+            "{}: semantics drift through render→parse",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Additional kernels beyond the paper's five: the motivating examples of
+//! Fig. 2, a histogram (the canonical runtime-index hazard), and the §V-C
+//! guarded-update shape used by the deadlock experiment.
+
+use prevv_dataflow::components::{BinOp, LoopLevel};
+use prevv_dataflow::Value;
+use prevv_ir::{ArrayDecl, ArrayId, Expr, KernelSpec, OpaqueFn, Stmt};
+
+/// Paper Fig. 2(a): sequential-update RAW —
+/// `a[b[i]] += A; b[i] += B`.
+pub fn fig2a(n: i64, b_init: Vec<Value>) -> KernelSpec {
+    assert_eq!(b_init.len(), n as usize, "b needs one entry per iteration");
+    let a = ArrayId(0);
+    let b = ArrayId(1);
+    KernelSpec::new(
+        "fig2a",
+        vec![LoopLevel::upto(n)],
+        vec![
+            ArrayDecl::zeroed("a", (2 * n) as usize),
+            ArrayDecl::with_values("b", b_init),
+        ],
+        vec![
+            Stmt::store(
+                a,
+                Expr::load(b, Expr::var(0)),
+                Expr::load(a, Expr::load(b, Expr::var(0))).add(Expr::lit(5)),
+            ),
+            Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(3))),
+        ],
+    )
+    .expect("fig2a is well-formed")
+}
+
+/// Paper Fig. 2(b): function-dependent RAW —
+/// `a[b[i] + f(x)] += A; b[i + g(x)] += B` with runtime-opaque `f`, `g`.
+pub fn fig2b(n: i64, range: i64) -> KernelSpec {
+    let a = ArrayId(0);
+    let b = ArrayId(1);
+    let f = OpaqueFn::new(0xF00D, range);
+    let g = OpaqueFn::new(0xBEEF, range);
+    let a_idx = Expr::load(b, Expr::var(0)).add(Expr::var(0).opaque(f));
+    let b_idx = Expr::var(0).add(Expr::var(0).opaque(g));
+    KernelSpec::new(
+        "fig2b",
+        vec![LoopLevel::upto(n)],
+        vec![
+            ArrayDecl::zeroed("a", (2 * range) as usize),
+            ArrayDecl::with_values("b", (0..n).map(|i| i % range).collect()),
+        ],
+        vec![
+            Stmt::store(a, a_idx.clone(), Expr::load(a, a_idx).add(Expr::lit(5))),
+            Stmt::store(b, b_idx.clone(), Expr::load(b, b_idx).add(Expr::lit(3))),
+        ],
+    )
+    .expect("fig2b is well-formed")
+}
+
+/// Histogram: `h[f(i)] += 1`. `bins` controls the RAW hazard rate — the
+/// denser the bins, the more often premature loads mis-speculate.
+pub fn histogram(n: i64, bins: i64, seed: u64) -> KernelSpec {
+    let h = ArrayId(0);
+    let idx = Expr::var(0).opaque(OpaqueFn::new(seed, bins));
+    KernelSpec::new(
+        "histogram",
+        vec![LoopLevel::upto(n)],
+        vec![ArrayDecl::zeroed("h", bins as usize)],
+        vec![Stmt::store(
+            h,
+            idx.clone(),
+            Expr::load(h, idx).add(Expr::lit(1)),
+        )],
+    )
+    .expect("histogram is well-formed")
+}
+
+/// The §V-C guarded-update kernel: `if (i % m == 0) a[c] += 1`. Without
+/// fake tokens, PreVV deadlocks on this shape.
+pub fn guarded_update(n: i64, every: i64) -> KernelSpec {
+    let a = ArrayId(0);
+    KernelSpec::new(
+        "guarded_update",
+        vec![LoopLevel::upto(n)],
+        vec![ArrayDecl::zeroed("a", 8)],
+        vec![Stmt::guarded(
+            a,
+            Expr::lit(3),
+            Expr::load(a, Expr::lit(3)).add(Expr::lit(1)),
+            Expr::bin(
+                BinOp::Eq,
+                Expr::bin(BinOp::Rem, Expr::var(0), Expr::lit(every)),
+                Expr::lit(0),
+            ),
+        )],
+    )
+    .expect("guarded_update is well-formed")
+}
+
+/// Serial reduction: every iteration read-modify-writes one cell — the
+/// worst case for premature execution (100% RAW) and the best case for an
+/// LSQ's forwarding. Used to probe the squash-rate extreme.
+pub fn serial_reduction(n: i64) -> KernelSpec {
+    let s = ArrayId(0);
+    KernelSpec::new(
+        "serial_reduction",
+        vec![LoopLevel::upto(n)],
+        vec![ArrayDecl::zeroed("s", 4)],
+        vec![Stmt::store(
+            s,
+            Expr::lit(0),
+            Expr::load(s, Expr::lit(0)).add(Expr::var(0)),
+        )],
+    )
+    .expect("serial_reduction is well-formed")
+}
+
+/// A chain of `width` ambiguous accumulations into one array — overlapped
+/// ambiguous pairs for the §V-B scalability experiment: each extra term
+/// adds another load that pairs with the store.
+pub fn overlapped_pairs(n: i64, width: usize) -> KernelSpec {
+    assert!(width >= 1, "need at least one term");
+    let a = ArrayId(0);
+    let mut value = Expr::load(a, Expr::var(0));
+    for w in 1..width {
+        value = value.add(Expr::load(a, Expr::var(0).add(Expr::lit(w as i64))));
+    }
+    KernelSpec::new(
+        format!("overlap_w{width}"),
+        vec![LoopLevel::upto(n), LoopLevel::upto(4)],
+        vec![ArrayDecl::zeroed("a", (n + width as i64 + 1) as usize)],
+        vec![Stmt::store(a, Expr::var(0), value.add(Expr::lit(1)))],
+    )
+    .expect("overlapped kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prevv_ir::{depend, golden};
+
+    #[test]
+    fn fig2b_has_runtime_ambiguity() {
+        let d = depend::analyze(&fig2b(16, 8));
+        assert!(d.needs_disambiguation());
+        assert!(d.pairs.len() >= 3);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_n() {
+        let spec = histogram(64, 8, 42);
+        let g = golden::execute(&spec);
+        assert_eq!(g.arrays[0].iter().sum::<i64>(), 64);
+    }
+
+    #[test]
+    fn guarded_update_counts_taken_iterations() {
+        let spec = guarded_update(30, 3);
+        let g = golden::execute(&spec);
+        assert_eq!(g.arrays[0][3], 10);
+        assert_eq!(g.guards_skipped, 20);
+    }
+
+    #[test]
+    fn overlapped_pairs_scale_with_width() {
+        let d1 = depend::analyze(&overlapped_pairs(8, 1));
+        let d3 = depend::analyze(&overlapped_pairs(8, 3));
+        assert!(d3.pairs.len() > d1.pairs.len());
+    }
+
+    #[test]
+    fn serial_reduction_sums_the_indices() {
+        let g = golden::execute(&serial_reduction(10));
+        assert_eq!(g.arrays[0][0], 45);
+    }
+}

@@ -1,0 +1,24 @@
+//! # prevv-kernels — benchmark kernels with data hazards
+//!
+//! The evaluation workloads of the PreVV reproduction:
+//!
+//! * [`paper`] — the five kernels of the paper's §VI (`polyn_mult`, `2mm`,
+//!   `3mm`, `gaussian`, `triangular`), parameterized and scaled to
+//!   laptop-simulation sizes;
+//! * [`extra`] — the motivating examples of Fig. 2, a histogram with a
+//!   tunable hazard rate, the §V-C guarded-update (deadlock) shape, a
+//!   serial reduction, and an overlapped-pairs family for the scalability
+//!   experiment;
+//! * [`workload`] — deterministic, seeded input generators.
+//!
+//! Every kernel is a [`prevv_ir::KernelSpec`], so it can be executed by the
+//! golden interpreter and synthesized to a dataflow circuit with any
+//! disambiguation controller attached.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extra;
+pub mod paper;
+pub mod suite;
+pub mod workload;

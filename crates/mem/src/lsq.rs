@@ -1,0 +1,639 @@
+//! The load-store queue baseline — the component PreVV eliminates.
+//!
+//! Models the Dynamatic LSQ of Josipović et al. \[15\]/\[4\]: a **group
+//! allocator** receives one token per iteration in program order and
+//! reserves, atomically, one entry per static memory op of that iteration
+//! (the program-order ROM), a **load queue** and **store queue** hold the
+//! in-flight ops, loads perform an **associative search** of older stores
+//! (wait on unknown addresses, forward on a match), and stores commit to RAM
+//! strictly in order from the queue head. The fast-allocation variant of
+//! Elakhras et al. \[8\] ("straight to the queue") is the same machine with
+//! zero allocation latency — see [`LsqConfig::fast`].
+//!
+//! The resource cost of all this — per-entry CAM comparators, allocation
+//! logic, wide priority encoders — is what Fig. 1 of the paper shows
+//! dominating Dynamatic circuits; the analytic model in `prevv-area` prices
+//! it from this crate's configuration.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prevv_dataflow::{Component, Ports, Signals, Tag, Token, Value};
+use prevv_ir::{MemOpKind, MemoryInterface};
+
+use crate::delay::DelayLine;
+use crate::portio::PortIo;
+use crate::ram::{shared, Ram, SharedRam};
+use crate::MemTiming;
+
+/// Configuration of the LSQ baseline.
+#[derive(Debug, Clone)]
+pub struct LsqConfig {
+    /// Load queue entries.
+    pub load_depth: usize,
+    /// Store queue entries.
+    pub store_depth: usize,
+    /// Cycles between an iteration's allocation token arriving and its
+    /// entries being usable. Plain Dynamatic routes allocation requests
+    /// through the control network (several cycles); the fast-allocation
+    /// plugin \[8\] delivers them straight to the queue.
+    pub alloc_latency: u32,
+    /// RAM timing and port bandwidth.
+    pub timing: MemTiming,
+}
+
+impl LsqConfig {
+    /// Plain Dynamatic \[15\]: depth-16 queues, slow allocation path.
+    pub fn dynamatic(depth: usize) -> Self {
+        LsqConfig {
+            load_depth: depth,
+            store_depth: depth,
+            alloc_latency: 3,
+            timing: MemTiming::default(),
+        }
+    }
+
+    /// Fast load-store queue allocation \[8\]: same queues, allocation tokens
+    /// delivered straight to the queue.
+    pub fn fast(depth: usize) -> Self {
+        LsqConfig {
+            alloc_latency: 0,
+            ..Self::dynamatic(depth)
+        }
+    }
+}
+
+/// Errors raised when constructing an LSQ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsqError {
+    /// One iteration has more loads than the load queue can hold, so group
+    /// allocation could never succeed.
+    LoadQueueTooShallow {
+        /// Loads per iteration.
+        needed: usize,
+        /// Configured depth.
+        depth: usize,
+    },
+    /// One iteration has more stores than the store queue can hold.
+    StoreQueueTooShallow {
+        /// Stores per iteration.
+        needed: usize,
+        /// Configured depth.
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for LsqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LsqError::LoadQueueTooShallow { needed, depth } => write!(
+                f,
+                "load queue depth {depth} cannot hold one iteration's {needed} loads"
+            ),
+            LsqError::StoreQueueTooShallow { needed, depth } => write!(
+                f,
+                "store queue depth {depth} cannot hold one iteration's {needed} stores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LsqError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Allocated; waiting for operands / ordering.
+    Waiting,
+    /// Read issued to RAM (loads only).
+    Issued,
+    /// Finished (result delivered / written); awaiting head deallocation.
+    Done,
+    /// Guard was false; a fake token cancelled this entry.
+    Cancelled,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    port: usize,
+    iter: u64,
+    seq: u32,
+    tag: Tag,
+    addr: Option<usize>,
+    data: Option<Value>,
+    state: EntryState,
+}
+
+impl Entry {
+    fn order(&self) -> (u64, u32) {
+        (self.iter, self.seq)
+    }
+}
+
+/// Statistics specific to the LSQ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsqStats {
+    /// Loads satisfied by store-to-load forwarding.
+    pub forwards: u64,
+    /// Loads issued to RAM.
+    pub ram_reads: u64,
+    /// Stores committed to RAM.
+    pub ram_writes: u64,
+    /// Cycles in which allocation stalled for lack of queue space.
+    pub alloc_stall_cycles: u64,
+    /// Peak combined queue occupancy (loads + stores).
+    pub high_water: usize,
+}
+
+/// Shared handle to LSQ statistics, readable after simulation.
+pub type SharedLsqStats = Rc<RefCell<LsqStats>>;
+
+/// The load-store queue controller.
+#[derive(Debug)]
+pub struct Lsq {
+    io: PortIo,
+    ram: SharedRam,
+    config: LsqConfig,
+    lq: Vec<Entry>,
+    sq: Vec<Entry>,
+    alloc_delay: DelayLine<Token>,
+    ready_allocs: std::collections::VecDeque<Token>,
+    reads: DelayLine<(usize, u64, u32, Value)>,
+    loads_per_iter: usize,
+    stores_per_iter: usize,
+    stats: LsqStats,
+    shared: SharedLsqStats,
+}
+
+impl Lsq {
+    /// Creates an LSQ over a fresh RAM initialized from the interface's
+    /// array images.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsqError`] if one iteration's ops cannot fit the queues.
+    pub fn new(iface: MemoryInterface, config: LsqConfig) -> Result<(Self, SharedRam), LsqError> {
+        let (lsq, ram, _) = Self::with_stats(iface, config)?;
+        Ok((lsq, ram))
+    }
+
+    /// Like [`Lsq::new`], additionally returning a shared statistics handle
+    /// that stays readable after the component is moved into a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsqError`] if one iteration's ops cannot fit the queues.
+    pub fn with_stats(
+        iface: MemoryInterface,
+        config: LsqConfig,
+    ) -> Result<(Self, SharedRam, SharedLsqStats), LsqError> {
+        let loads_per_iter = iface.load_ports();
+        let stores_per_iter = iface.store_ports();
+        if loads_per_iter > config.load_depth {
+            return Err(LsqError::LoadQueueTooShallow {
+                needed: loads_per_iter,
+                depth: config.load_depth,
+            });
+        }
+        if stores_per_iter > config.store_depth {
+            return Err(LsqError::StoreQueueTooShallow {
+                needed: stores_per_iter,
+                depth: config.store_depth,
+            });
+        }
+        let ram = shared(Ram::new(iface.initial_ram()));
+        let stats_handle = Rc::new(RefCell::new(LsqStats::default()));
+        Ok((
+            Lsq {
+                io: PortIo::new(iface),
+                ram: ram.clone(),
+                config,
+                lq: Vec::new(),
+                sq: Vec::new(),
+                alloc_delay: DelayLine::new(),
+                ready_allocs: std::collections::VecDeque::new(),
+                reads: DelayLine::new(),
+                loads_per_iter,
+                stores_per_iter,
+                stats: LsqStats::default(),
+                shared: stats_handle.clone(),
+            },
+            ram,
+            stats_handle,
+        ))
+    }
+
+    /// LSQ-specific statistics.
+    pub fn stats(&self) -> LsqStats {
+        self.stats
+    }
+
+    /// Current queue occupancies `(loads, stores)`.
+    pub fn queue_occupancy(&self) -> (usize, usize) {
+        (self.lq.len(), self.sq.len())
+    }
+
+    fn allocate_ready(&mut self) {
+        while let Some(front) = self.ready_allocs.front() {
+            let can = self.lq.len() + self.loads_per_iter <= self.config.load_depth
+                && self.sq.len() + self.stores_per_iter <= self.config.store_depth;
+            if !can {
+                self.stats.alloc_stall_cycles += 1;
+                break;
+            }
+            let iter = front.tag.iter;
+            let tag = front.tag;
+            self.ready_allocs.pop_front();
+            for p in 0..self.io.port_count() {
+                let op = &self.io.port(p).op;
+                let entry = Entry {
+                    port: p,
+                    iter,
+                    seq: op.seq,
+                    tag,
+                    addr: None,
+                    data: None,
+                    state: EntryState::Waiting,
+                };
+                match op.kind {
+                    MemOpKind::Load => self.lq.push(entry),
+                    MemOpKind::Store => self.sq.push(entry),
+                }
+            }
+        }
+    }
+
+    fn ingest_arrivals(&mut self) {
+        for p in 0..self.io.port_count() {
+            let is_load = self.io.port(p).is_load();
+            // Addresses.
+            while let Some(tok) = self.io.peek_addr(p).copied() {
+                let addr = self.io.resolve(p, tok.value);
+                let q = if is_load { &mut self.lq } else { &mut self.sq };
+                let Some(e) = q
+                    .iter_mut()
+                    .find(|e| e.port == p && e.iter == tok.tag.iter && e.addr.is_none())
+                else {
+                    break; // not allocated yet: leave queued upstream
+                };
+                e.addr = Some(addr);
+                e.tag = tok.tag;
+                self.io.take_addr(p).expect("peeked");
+            }
+            // Store data.
+            if !is_load {
+                while let Some(tok) = self.io.peek_data(p).copied() {
+                    let Some(e) = self
+                        .sq
+                        .iter_mut()
+                        .find(|e| e.port == p && e.iter == tok.tag.iter && e.data.is_none())
+                    else {
+                        break;
+                    };
+                    e.data = Some(tok.value);
+                    self.io.take_data(p).expect("peeked");
+                }
+            }
+            // Fake tokens cancel their entry; cancelled loads still owe a
+            // dummy result so the datapath's token balance holds.
+            while let Some(tok) = self.io.peek_fake(p).copied() {
+                let q = if is_load { &mut self.lq } else { &mut self.sq };
+                let Some(e) = q.iter_mut().find(|e| {
+                    e.port == p && e.iter == tok.tag.iter && e.state == EntryState::Waiting
+                }) else {
+                    break;
+                };
+                e.state = EntryState::Cancelled;
+                self.io.take_fake(p).expect("peeked");
+                if is_load {
+                    self.io.push_result(p, Token::tagged(0, tok.tag));
+                }
+            }
+        }
+    }
+
+    fn issue_loads(&mut self) {
+        let mut budget = self.config.timing.read_ports;
+        // Snapshot of the store queue for the associative search.
+        for li in 0..self.lq.len() {
+            if budget == 0 {
+                break;
+            }
+            let (order, addr) = {
+                let l = &self.lq[li];
+                if l.state != EntryState::Waiting {
+                    continue;
+                }
+                let Some(addr) = l.addr else { continue };
+                (l.order(), addr)
+            };
+            // Associative search of older stores (paper §II-B): any older
+            // store with an unknown address blocks the load; the youngest
+            // older store to the same address forwards its data once known.
+            let mut blocked = false;
+            let mut forward: Option<(u64, u32, Option<Value>)> = None;
+            for s in &self.sq {
+                if s.state == EntryState::Cancelled || s.order() >= order {
+                    continue;
+                }
+                match s.addr {
+                    None => {
+                        blocked = true;
+                        break;
+                    }
+                    Some(sa) if sa == addr => {
+                        if forward.is_none_or(|(fi, fs, _)| (fi, fs) < s.order()) {
+                            forward = Some((s.iter, s.seq, s.data));
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+            if blocked {
+                continue;
+            }
+            match forward {
+                Some((_, _, Some(v))) => {
+                    // Store-to-load forwarding.
+                    let l = &mut self.lq[li];
+                    l.state = EntryState::Done;
+                    l.data = Some(v);
+                    let (port, tag) = (l.port, l.tag);
+                    self.io.push_result(port, Token::tagged(v, tag));
+                    self.stats.forwards += 1;
+                }
+                Some((_, _, None)) => {
+                    // Matching older store whose data is not ready: wait.
+                }
+                None => {
+                    // Sample RAM now; all older matching stores are ruled
+                    // out, and younger stores commit only behind them, so
+                    // the value is stable for this load.
+                    let value = self.ram.borrow_mut().read(addr);
+                    let l = &mut self.lq[li];
+                    l.state = EntryState::Issued;
+                    self.reads.push(
+                        self.config.timing.read_latency,
+                        (l.port, l.iter, l.seq, value),
+                    );
+                    self.stats.ram_reads += 1;
+                    budget -= 1;
+                }
+            }
+        }
+    }
+
+    fn commit_stores(&mut self) {
+        let mut budget = self.config.timing.write_ports;
+        while let Some(head) = self.sq.first() {
+            match head.state {
+                EntryState::Cancelled => {
+                    self.sq.remove(0);
+                }
+                _ => {
+                    let (Some(addr), Some(data)) = (head.addr, head.data) else {
+                        break;
+                    };
+                    if budget == 0 {
+                        break;
+                    }
+                    self.ram.borrow_mut().write(addr, data);
+                    self.stats.ram_writes += 1;
+                    budget -= 1;
+                    self.sq.remove(0);
+                }
+            }
+        }
+    }
+
+    fn dealloc_loads(&mut self) {
+        while let Some(head) = self.lq.first() {
+            if matches!(head.state, EntryState::Done | EntryState::Cancelled) {
+                self.lq.remove(0);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Component for Lsq {
+    fn type_name(&self) -> &'static str {
+        "lsq"
+    }
+
+    fn ports(&self) -> Ports {
+        self.io.channel_ports()
+    }
+
+    fn eval(&self, sig: &mut Signals) {
+        self.io.eval(sig);
+    }
+
+    fn commit(&mut self, sig: &Signals) {
+        self.io.commit_io(sig);
+
+        // Read completions (issued `read_latency` cycles ago).
+        for (port, iter, seq, value) in self.reads.tick() {
+            if let Some(e) = self
+                .lq
+                .iter_mut()
+                .find(|e| e.port == port && e.iter == iter && e.seq == seq)
+            {
+                e.state = EntryState::Done;
+                e.data = Some(value);
+                let tag = e.tag;
+                self.io.push_result(port, Token::tagged(value, tag));
+            }
+        }
+
+        // Group allocation pipeline.
+        if let Some(t) = self.io.take_alloc() {
+            self.alloc_delay.push(self.config.alloc_latency, t);
+        }
+        self.ready_allocs.extend(self.alloc_delay.tick());
+        self.allocate_ready();
+
+        self.ingest_arrivals();
+        self.issue_loads();
+        self.commit_stores();
+        self.dealloc_loads();
+        self.stats.high_water = self.stats.high_water.max(self.lq.len() + self.sq.len());
+        *self.shared.borrow_mut() = self.stats;
+    }
+
+    fn flush(&mut self, from_iter: u64) {
+        // The LSQ never speculates, so it never receives a squash in normal
+        // operation; this keeps the component well-behaved if one arrives.
+        self.io.flush(from_iter);
+        self.lq.retain(|e| e.iter < from_iter);
+        self.sq.retain(|e| e.iter < from_iter);
+        self.ready_allocs.retain(|t| t.tag.iter < from_iter);
+        self.alloc_delay.flush_if(|t| t.tag.iter >= from_iter);
+        self.reads.flush_if(|&(_, iter, _, _)| iter >= from_iter);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.io.is_idle()
+            && self.lq.is_empty()
+            && self.sq.is_empty()
+            && self.ready_allocs.is_empty()
+            && self.alloc_delay.is_empty()
+            && self.reads.is_empty()
+    }
+
+    fn occupancy(&self) -> usize {
+        self.io.occupancy() + self.lq.len() + self.sq.len() + self.ready_allocs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prevv_dataflow::components::LoopLevel;
+    use prevv_dataflow::{SimConfig, Simulator};
+    use prevv_ir::{golden, synthesize, ArrayDecl, ArrayId, Expr, KernelSpec, Stmt};
+
+    fn run_lsq(spec: &KernelSpec, config: LsqConfig) -> (Vec<Vec<i64>>, prevv_dataflow::SimReport) {
+        let mut s = synthesize(spec).expect("synth");
+        let (ctrl, ram) = Lsq::new(s.interface.clone(), config).expect("fits");
+        s.netlist.add("lsq", ctrl);
+        let mut sim = Simulator::new(s.netlist, s.bus)
+            .expect("valid netlist")
+            .with_config(SimConfig {
+                max_cycles: 500_000,
+                watchdog: 2_000,
+            });
+        let report = sim.run().expect("completes");
+        let ram = ram.borrow();
+        let arrays = s
+            .interface
+            .split_ram(ram.image())
+            .into_iter()
+            .map(<[i64]>::to_vec)
+            .collect();
+        (arrays, report)
+    }
+
+    /// The reduction that breaks DirectMemory.
+    fn reduction() -> KernelSpec {
+        let s = ArrayId(0);
+        KernelSpec::new(
+            "reduce",
+            vec![LoopLevel::upto(32)],
+            vec![ArrayDecl::zeroed("s", 4)],
+            vec![Stmt::store(
+                s,
+                Expr::lit(0),
+                Expr::load(s, Expr::lit(0)).add(Expr::var(0)),
+            )],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn lsq_fixes_the_loop_carried_reduction() {
+        let spec = reduction();
+        let gold = golden::execute(&spec);
+        let (arrays, _) = run_lsq(&spec, LsqConfig::dynamatic(16));
+        assert_eq!(arrays[0], gold.array(ArrayId(0)));
+    }
+
+    #[test]
+    fn fast_allocation_is_not_slower() {
+        let spec = reduction();
+        let (_, slow) = run_lsq(&spec, LsqConfig::dynamatic(16));
+        let (_, fast) = run_lsq(&spec, LsqConfig::fast(16));
+        assert!(
+            fast.cycles <= slow.cycles,
+            "fast allocation [8] must not lose to plain Dynamatic [15]: {} vs {}",
+            fast.cycles,
+            slow.cycles
+        );
+    }
+
+    #[test]
+    fn histogram_with_runtime_indices_is_correct() {
+        use prevv_ir::OpaqueFn;
+        let h = ArrayId(0);
+        let spec = KernelSpec::new(
+            "hist",
+            vec![LoopLevel::upto(48)],
+            vec![ArrayDecl::zeroed("h", 8)],
+            vec![Stmt::store(
+                h,
+                Expr::var(0).opaque(OpaqueFn::new(11, 8)),
+                Expr::load(h, Expr::var(0).opaque(OpaqueFn::new(11, 8))).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        let gold = golden::execute(&spec);
+        let (arrays, _) = run_lsq(&spec, LsqConfig::dynamatic(16));
+        assert_eq!(arrays[0], gold.array(ArrayId(0)));
+        let total: i64 = arrays[0].iter().sum();
+        assert_eq!(total, 48);
+    }
+
+    #[test]
+    fn guarded_kernel_with_fakes_completes_on_lsq() {
+        use prevv_dataflow::components::BinOp;
+        let a = ArrayId(0);
+        let spec = KernelSpec::new(
+            "guarded",
+            vec![LoopLevel::upto(16)],
+            vec![ArrayDecl::zeroed("a", 16)],
+            vec![Stmt::guarded(
+                a,
+                Expr::var(0),
+                Expr::load(a, Expr::var(0)).add(Expr::lit(5)),
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::bin(BinOp::Rem, Expr::var(0), Expr::lit(2)),
+                    Expr::lit(0),
+                ),
+            )],
+        )
+        .expect("valid");
+        let gold = golden::execute(&spec);
+        let (arrays, _) = run_lsq(&spec, LsqConfig::dynamatic(16));
+        assert_eq!(arrays[0], gold.array(ArrayId(0)));
+    }
+
+    #[test]
+    fn shallow_queue_is_rejected_when_iteration_cannot_fit() {
+        let a = ArrayId(0);
+        // 3 loads per iteration, queue depth 2.
+        let spec = KernelSpec::new(
+            "wide",
+            vec![LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 16)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0),
+                Expr::load(a, Expr::var(0))
+                    .add(Expr::load(a, Expr::var(0).add(Expr::lit(1))))
+                    .add(Expr::load(a, Expr::var(0).add(Expr::lit(2)))),
+            )],
+        )
+        .expect("valid");
+        let s = synthesize(&spec).expect("synth");
+        let cfg = LsqConfig {
+            load_depth: 2,
+            ..LsqConfig::dynamatic(2)
+        };
+        let err = Lsq::new(s.interface, cfg).expect_err("must reject");
+        assert!(matches!(err, LsqError::LoadQueueTooShallow { needed: 3, depth: 2 }));
+    }
+
+    #[test]
+    fn deeper_queue_is_not_slower() {
+        let spec = reduction();
+        let (_, d4) = run_lsq(&spec, LsqConfig::fast(4));
+        let (_, d16) = run_lsq(&spec, LsqConfig::fast(16));
+        assert!(
+            d16.cycles <= d4.cycles,
+            "deeper LSQ must not be slower: {} vs {}",
+            d16.cycles,
+            d4.cycles
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Histogram: the canonical runtime-index hazard. Sweeps the collision rate
+//! (bin count) and compares the LSQ against PreVV at two queue depths,
+//! showing how the squash rate tracks the hazard rate and what it costs.
+//!
+//! ```text
+//! cargo run --release --example histogram
+//! ```
+
+use prevv::kernels::extra;
+use prevv::{evaluate, Controller, PrevvConfig};
+
+fn main() -> Result<(), prevv::RunError> {
+    const N: i64 = 192;
+    println!("histogram of {N} samples — hazard rate controlled by bin count\n");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "bins", "LSQ cyc", "PreVV16 cyc", "PreVV64 cyc", "squash16", "squash64"
+    );
+    for bins in [2, 4, 8, 16, 64, 256] {
+        let spec = extra::histogram(N, bins, 1234);
+        let lsq = evaluate(&spec, Controller::FastLsq { depth: 16 })?;
+        let p16 = evaluate(&spec, Controller::Prevv(PrevvConfig::prevv16()))?;
+        let p64 = evaluate(&spec, Controller::Prevv(PrevvConfig::prevv64()))?;
+        for e in [&lsq, &p16, &p64] {
+            assert!(e.run.matches_golden, "diverged from golden");
+        }
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>9} {:>9}",
+            bins,
+            lsq.run.report.cycles,
+            p16.run.report.cycles,
+            p64.run.report.cycles,
+            p16.run.report.squashes,
+            p64.run.report.squashes,
+        );
+    }
+    println!(
+        "\nFewer bins ⇒ more same-address reuse ⇒ more premature loads race their\n\
+         producer stores. The dependence predictor converts repeat offenders into\n\
+         short holds, so the squash count stays bounded instead of growing with N."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run the paper's motivating kernel (Fig. 2b — runtime-only
+//! memory dependences) on a dataflow circuit with PreVV, and see why
+//! disambiguation is needed at all.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prevv::kernels::extra;
+use prevv::{evaluate, run_kernel, Controller, PrevvConfig};
+
+fn main() -> Result<(), prevv::RunError> {
+    // The paper's Fig. 2(b): indices depend on opaque runtime functions, so
+    // no compiler can prove independence — classic dynamic-HLS territory.
+    let spec = extra::fig2b(48, 8);
+    println!("kernel: {} ({} iterations)\n", spec.name, spec.iteration_count());
+
+    // 1. No disambiguation: the circuit pipelines aggressively and reads
+    //    stale data.
+    let direct = run_kernel(&spec, Controller::Direct)?;
+    println!(
+        "direct (no disambiguation): {} cycles — matches golden: {}",
+        direct.report.cycles, direct.matches_golden
+    );
+
+    // 2. The conventional fix: a load-store queue.
+    let lsq = evaluate(&spec, Controller::FastLsq { depth: 16 })?;
+    println!(
+        "LSQ [8]:  {} cycles, {} — matches golden: {}",
+        lsq.run.report.cycles,
+        lsq.design.total(),
+        lsq.run.matches_golden
+    );
+
+    // 3. PreVV: out-of-order execution + premature value validation.
+    let prevv = evaluate(&spec, Controller::Prevv(PrevvConfig::prevv16()))?;
+    let stats = prevv.run.prevv.expect("prevv stats");
+    println!(
+        "PreVV16:  {} cycles, {} — matches golden: {}",
+        prevv.run.report.cycles,
+        prevv.design.total(),
+        prevv.run.matches_golden
+    );
+    println!(
+        "          {} validations, {} squashes, {} iterations replayed, peak queue {}",
+        stats.validations, stats.squashes, stats.replayed_iters, stats.queue_high_water
+    );
+
+    let saving = 1.0 - prevv.design.total().luts as f64 / lsq.design.total().luts as f64;
+    println!(
+        "\nPreVV16 uses {:.1}% fewer LUTs than the LSQ at {:+.1}% execution time.",
+        saving * 100.0,
+        (prevv.exec_time_us / lsq.exec_time_us - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The kernel source files shipped in `kernels/` must parse, run under
+//! PreVV, and match the golden model — keeping the CLI's examples honest.
+
+use prevv::ir::parse::parse_kernel;
+use prevv::{run_kernel, Controller, PrevvConfig};
+
+fn check_file(name: &str) {
+    let path = format!("{}/kernels/{name}.pvk", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec = parse_kernel(name, &source).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+    let r = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv16()))
+        .unwrap_or_else(|e| panic!("run {name}: {e}"));
+    assert!(r.matches_golden, "{name} diverged from golden");
+}
+
+#[test]
+fn histogram_file_runs() {
+    check_file("histogram");
+}
+
+#[test]
+fn fig2a_file_runs() {
+    check_file("fig2a");
+}
+
+#[test]
+fn polyn_mult_file_runs() {
+    check_file("polyn_mult");
+}
+
+#[test]
+fn triangular_file_runs() {
+    check_file("triangular");
+}
+
+#[test]
+fn guarded_file_runs() {
+    check_file("guarded");
+}
+
+#[test]
+fn files_round_trip_through_the_pretty_printer() {
+    for name in ["histogram", "fig2a", "polyn_mult", "triangular", "guarded"] {
+        let path = format!("{}/kernels/{name}.pvk", env!("CARGO_MANIFEST_DIR"));
+        let source = std::fs::read_to_string(&path).expect("read");
+        let spec = parse_kernel(name, &source).expect("parse");
+        let rendered = prevv::ir::pretty::render(&spec);
+        let body: String = rendered.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let spec2 = parse_kernel(name, &body).expect("re-parse rendered source");
+        assert_eq!(
+            prevv::ir::golden::execute(&spec).arrays,
+            prevv::ir::golden::execute(&spec2).arrays,
+            "{name}: semantics drift through render→parse"
+        );
+    }
+}

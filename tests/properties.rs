@@ -1,0 +1,159 @@
+//! Property-based tests: randomly generated kernels with data hazards must
+//! execute identically under every sound controller — the strongest
+//! correctness statement the reproduction makes about premature value
+//! validation.
+
+use proptest::prelude::*;
+
+use prevv::dataflow::components::LoopLevel;
+use prevv::ir::{ArrayDecl, ArrayId, BinOp, Expr, KernelSpec, OpaqueFn, Stmt};
+use prevv::{run_kernel, Controller, MemTiming, PrevvConfig};
+
+const ARRAY_LEN: usize = 12;
+
+/// Index expressions over one loop variable and two small arrays —
+/// deliberately biased toward aliasing (small modulus, constant cells).
+fn index_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        // affine: i + c
+        (-2i64..6).prop_map(|c| Expr::var(0).add(Expr::lit(c))),
+        // constant cell: maximal reuse
+        (0i64..4).prop_map(Expr::lit),
+        // runtime hash of i with a small range
+        (0u64..4, 2i64..6).prop_map(|(seed, m)| Expr::var(0).opaque(OpaqueFn::new(seed, m))),
+        // indirect through array 1
+        Just(Expr::load(ArrayId(1), Expr::var(0))),
+    ]
+}
+
+/// Value expressions: a load of the target (read-modify-write) combined
+/// with the induction variable.
+fn value_expr(target: ArrayId, index: Expr) -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::load(target, index.clone()).add(Expr::var(0))),
+        Just(Expr::load(target, index.clone()).add(Expr::lit(1))),
+        Just(Expr::var(0).mul(Expr::lit(3))),
+        Just(Expr::load(target, index).mul(Expr::lit(2)).add(Expr::lit(1))),
+    ]
+}
+
+prop_compose! {
+    fn statement()(
+        target in 0usize..2,
+        index in index_expr(),
+    )(
+        target in Just(target),
+        index in Just(index.clone()),
+        value in value_expr(ArrayId(target), index),
+        guarded in proptest::bool::weighted(0.3),
+        every in 2i64..4,
+    ) -> Stmt {
+        let array = ArrayId(target);
+        if guarded {
+            Stmt::guarded(
+                array,
+                index,
+                value,
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::bin(BinOp::Rem, Expr::var(0), Expr::lit(every)),
+                    Expr::lit(0),
+                ),
+            )
+        } else {
+            Stmt::store(array, index, value)
+        }
+    }
+}
+
+prop_compose! {
+    fn kernel()(
+        iters in 6i64..24,
+        inner in proptest::option::weighted(0.35, 2i64..4),
+        stmts in proptest::collection::vec(statement(), 1..3),
+        init in proptest::collection::vec(-4i64..4, ARRAY_LEN),
+    ) -> KernelSpec {
+        // Optionally wrap in a second (inner) loop level: the statements only
+        // reference level 0, so the inner level multiplies same-address
+        // reuse — exactly the accumulation pattern of the paper's kernels.
+        let levels = match inner {
+            Some(n) => vec![LoopLevel::upto(iters.min(12)), LoopLevel::upto(n)],
+            None => vec![LoopLevel::upto(iters)],
+        };
+        KernelSpec::new(
+            "random",
+            levels,
+            vec![
+                ArrayDecl::zeroed("a", ARRAY_LEN),
+                ArrayDecl::with_values("b", init),
+            ],
+            stmts,
+        ).expect("generated kernels are valid by construction")
+    }
+}
+
+fn prevv_variants() -> Vec<PrevvConfig> {
+    let mut v = Vec::new();
+    for depth in [8usize, 16, 64] {
+        for forwarding in [true, false] {
+            let mut c = PrevvConfig::with_depth(depth);
+            c.forwarding = forwarding;
+            v.push(c);
+        }
+    }
+    // A stress variant: tiny arbiter bandwidth and slow RAM.
+    let mut slow = PrevvConfig::with_depth(16);
+    slow.validations_per_cycle = 1;
+    slow.retire_per_cycle = 1;
+    slow.timing = MemTiming {
+        read_latency: 4,
+        write_latency: 2,
+        read_ports: 1,
+        write_ports: 1,
+    };
+    v.push(slow);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline soundness property: any random hazard-rich kernel runs
+    /// to the golden result under PreVV in every configuration.
+    #[test]
+    fn prevv_matches_golden_on_random_kernels(spec in kernel(), variant in 0usize..7) {
+        let configs = prevv_variants();
+        let config = configs[variant % configs.len()].clone();
+        // Skip configurations that cannot hold one iteration (rejected at
+        // construction; correctness is not at stake).
+        let ports = prevv::ir::synthesize(&spec).expect("synth").interface.ports.len();
+        prop_assume!(config.depth >= ports);
+        let r = run_kernel(&spec, Controller::Prevv(config))
+            .expect("simulation completes");
+        prop_assert!(r.matches_golden, "PreVV diverged from golden semantics");
+    }
+
+    /// The LSQ baseline obeys the same contract (differential sanity for
+    /// the comparison experiments).
+    #[test]
+    fn lsq_matches_golden_on_random_kernels(spec in kernel()) {
+        let r = run_kernel(&spec, Controller::FastLsq { depth: 16 })
+            .expect("simulation completes");
+        prop_assert!(r.matches_golden, "LSQ diverged from golden semantics");
+    }
+
+    /// PreVV and the LSQ agree with each other bit-for-bit (they both equal
+    /// golden, so this is implied — asserted directly for better shrink
+    /// output when something breaks).
+    #[test]
+    fn prevv_and_lsq_agree(spec in kernel()) {
+        let lsq = run_kernel(&spec, Controller::FastLsq { depth: 16 }).expect("lsq runs");
+        let prevv = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv16()))
+            .expect("prevv runs");
+        prop_assert_eq!(lsq.arrays, prevv.arrays);
+    }
+}
