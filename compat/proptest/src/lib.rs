@@ -1,0 +1,640 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no network and no crates.io
+//! cache, so property tests run against this local shim instead of the real
+//! `proptest`. It reproduces the API subset the workspace uses — the
+//! [`proptest!`], [`prop_compose!`], [`prop_oneof!`], [`prop_assert!`],
+//! [`prop_assert_eq!`] and [`prop_assume!`] macros, [`strategy::Strategy`]
+//! with `prop_map`, integer-range / tuple / `Just` strategies,
+//! [`collection::vec`], [`bool::weighted`], [`option::weighted`] and
+//! [`arbitrary::any`] — with two deliberate simplifications:
+//!
+//! * cases are generated from a deterministic splitmix64 stream seeded by the
+//!   test name, so every run explores the same inputs (reproducible failures);
+//! * there is no shrinking — a failing case reports its case number and seed
+//!   instead of a minimised input.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic random source driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next word of the splitmix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of test values (shim: generation only, no shrink tree).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.gen_value(rng)))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Type-erased strategy (cheaply cloneable).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy backed by a closure.
+    pub struct FnStrategy<F>(F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Wraps a closure as a strategy (used by `prop_compose!`).
+    pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    /// Builds a [`Union`]; panics on an empty choice list.
+    pub fn union<T>(choices: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        Union { choices }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.choices.len() as u64) as usize;
+            self.choices[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String-pattern strategy. The shim ignores the regex and produces
+    /// arbitrary printable-ish strings (superset fuzzing for `".*"`-style
+    /// patterns — robustness tests only get *more* adversarial inputs).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            const ALPHABET: &[u8] =
+                b"abijn01349 \t\n(){}[];=+-*/%<>!&|,._#\"'\\int for if h_";
+            let len = rng.below(33) as usize;
+            (0..len)
+                .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
+                .collect()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with per-element strategy `elem` and length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy yielding `true` with a fixed probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.0
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy yielding `Some` with a fixed probability.
+    pub struct Weighted<S> {
+        p: f64,
+        inner: S,
+    }
+
+    /// `Some(value)` with probability `p`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+        Weighted { p, inner }
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.p {
+                Some(self.inner.gen_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::{from_fn, BoxedStrategy, Strategy};
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    /// Canonical strategy for `T` (uniform over its whole domain).
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            from_fn(|rng| rng.next_u64() & 1 == 1).boxed()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    from_fn(|rng| rng.next_u64() as $t).boxed()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+}
+
+/// Test-runner configuration and driver.
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Per-test configuration; supports `..ProptestConfig::default()` update
+    /// syntax like the real crate.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Accepted for compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; the shim's global reject cap is
+        /// derived from `cases` instead.
+        pub max_global_rejects: u32,
+        /// Accepted for compatibility; the shim never forks.
+        pub fork: bool,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 1024,
+                fork: false,
+            }
+        }
+    }
+
+    /// Why a single case did not succeed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert!`-family check failed.
+        Fail(String),
+        /// A `prop_assume!` filtered the case out.
+        Reject,
+    }
+
+    fn seed_for(name: &str) -> u64 {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `f` until `config.cases` cases succeed; panics on the first
+    /// failing case with its case number and seed.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = seed_for(name);
+        let mut successes = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = config.cases as u64 * 20 + 100;
+        while successes < config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "property '{name}': too many cases rejected by prop_assume! \
+                 ({successes}/{} succeeded after {attempts} attempts)",
+                config.cases
+            );
+            let seed = base ^ attempts.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let mut rng = TestRng::new(seed);
+            match f(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property '{name}' failed at case {successes} (seed {seed:#x}):\n{msg}"
+                ),
+            }
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run(&config, stringify!($name), |__pt_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::gen_value(&($strat), __pt_rng);
+                )+
+                let mut __pt_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                __pt_case()
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( ($cfg:expr) ) => {};
+}
+
+/// Builds derived strategies; mirrors `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        fn $name:ident()($($a:ident in $s:expr),+ $(,)?) -> $ty:ty $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() -> impl $crate::strategy::Strategy<Value = $ty> {
+            $crate::strategy::from_fn(move |__pt_rng| {
+                let __pt_stage = ($($s,)+);
+                let ($($a,)+) =
+                    $crate::strategy::Strategy::gen_value(&__pt_stage, __pt_rng);
+                $body
+            })
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident()($($a:ident in $s:expr),+ $(,)?)($($b:ident in $t:expr),+ $(,)?) -> $ty:ty $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() -> impl $crate::strategy::Strategy<Value = $ty> {
+            $crate::strategy::from_fn(move |__pt_rng| {
+                let __pt_stage1 = ($($s,)+);
+                let ($($a,)+) =
+                    $crate::strategy::Strategy::gen_value(&__pt_stage1, __pt_rng);
+                // Like real proptest, second-stage strategy expressions see the
+                // first stage's bindings; evaluating them as one tuple keeps the
+                // original bindings live until every expression has run.
+                let __pt_stage2 = ($($t,)+);
+                let ($($b,)+) =
+                    $crate::strategy::Strategy::gen_value(&__pt_stage2, __pt_rng);
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice between strategies; mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__pt_l, __pt_r) => {
+                if !(*__pt_l == *__pt_r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                            stringify!($a),
+                            stringify!($b),
+                            __pt_l,
+                            __pt_r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__pt_l, __pt_r) => {
+                if !(*__pt_l == *__pt_r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0i64..10, b in 0i64..10) -> (i64, i64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 3i64..9, y in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![
+            (0i64..5).prop_map(|x| x * 2),
+            Just(100i64),
+        ]) {
+            prop_assert!(v == 100 || (v % 2 == 0 && v < 10));
+        }
+
+        #[test]
+        fn composed_pairs(p in pair(), flag in any::<bool>()) {
+            let _ = flag;
+            prop_assert_eq!(p.0 - p.0, 0);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u32..3, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_filters(n in 0u64..20) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! `prevv-lint` — static analysis for `.pvk` kernel sources.
+//!
+//! ```text
+//! prevv-lint [--format text|json] [--depth N] [--no-fake-tokens]
+//!            [--no-pair-reduction] <file.pvk>...
+//! ```
+//!
+//! Parses each file, runs every `prevv-analyze` lint, and renders the
+//! findings rustc-style (default) or as one JSON object per file (one per
+//! line). Parse failures are reported as `PV000`. The exit status is
+//! nonzero iff any file produced an error-severity diagnostic.
+
+use prevv_analyze::{lint_source, AnalyzeOptions};
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    files: Vec<String>,
+    format: Format,
+    opts: AnalyzeOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prevv-lint [--format text|json] [--depth N] [--no-fake-tokens] \
+         [--no-pair-reduction] <file.pvk>..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut files = Vec::new();
+    let mut format = Format::Text;
+    let mut opts = AnalyzeOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    _ => usage(),
+                };
+            }
+            "--depth" => {
+                opts.depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-fake-tokens" => opts.fake_tokens = false,
+            "--no-pair-reduction" => opts.pair_reduction = false,
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    Args {
+        files,
+        format,
+        opts,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut any_errors = false;
+    for path in &args.files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("kernel");
+        let report = lint_source(name, &source, &args.opts);
+        any_errors |= report.has_errors();
+        match args.format {
+            Format::Text => {
+                if report.is_empty() {
+                    println!("{path}: clean");
+                } else {
+                    print!("{}", report.render(path, Some(&source)));
+                }
+            }
+            Format::Json => {
+                println!(
+                    "{{\"file\":{},\"report\":{}}}",
+                    prevv_analyze::diag::json_string(path),
+                    report.to_json(Some(&source))
+                );
+            }
+        }
+    }
+    if any_errors {
+        std::process::exit(1);
+    }
+}

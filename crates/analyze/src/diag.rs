@@ -1,0 +1,324 @@
+//! Structured diagnostics: stable codes, severities, spans, and two render
+//! targets — rustc-style text against the original `.pvk` source, and a
+//! machine-readable JSON form for tooling.
+
+use std::fmt;
+
+use prevv_ir::span::{line_col, render_snippet};
+use prevv_ir::Span;
+
+/// Stable diagnostic codes. The numeric part never changes meaning across
+/// versions; tools may match on [`Code::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `PV000` — the source failed to parse (CLI only; the analyzer proper
+    /// operates on parsed kernels).
+    Parse,
+    /// `PV001` — an affine index provably leaves the array bounds.
+    OutOfBounds,
+    /// `PV002` — a guarded operation participates in an ambiguous pair
+    /// (paper §V-C deadlock shape).
+    DeadlockRisk,
+    /// `PV003` — the configured premature-queue depth is insufficient.
+    QueueDepth,
+    /// `PV004` — an ambiguous pair is provably disjoint and the arbiter is
+    /// bypassed for it.
+    DisjointPair,
+    /// `PV005` — a dead store or an unused array.
+    DeadStore,
+    /// `PV006` — pair reduction (paper §V-B) would help but is disabled.
+    PairReduction,
+}
+
+impl Code {
+    /// The stable `PV0xx` string of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Parse => "PV000",
+            Code::OutOfBounds => "PV001",
+            Code::DeadlockRisk => "PV002",
+            Code::QueueDepth => "PV003",
+            Code::DisjointPair => "PV004",
+            Code::DeadStore => "PV005",
+            Code::PairReduction => "PV006",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; no action needed.
+    Note,
+    /// Suspicious but not fatal; synthesis proceeds.
+    Warning,
+    /// The kernel must not be synthesized as configured.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in renders (`error`, `warning`, `note`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// Source location, when the kernel was parsed from text.
+    pub span: Option<Span>,
+    /// Primary message (one line).
+    pub message: String,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span: None,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Self::error(code, message)
+        }
+    }
+
+    /// A note-severity diagnostic.
+    pub fn note(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Self::error(code, message)
+        }
+    }
+
+    /// Attaches a source span (builder style).
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attaches a help line (builder style).
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders this diagnostic rustc-style against the original source.
+    /// Without a span (or without source text) only the header is produced.
+    pub fn render(&self, origin: &str, source: Option<&str>) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        match (self.span, source) {
+            (Some(span), Some(src)) => out.push_str(&render_snippet(src, origin, span)),
+            _ => out.push_str(&format!(" --> {origin}\n")),
+        }
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!(" help: {h}\n"));
+        }
+        out
+    }
+
+    /// The machine-readable JSON object for this diagnostic. When `source`
+    /// is available the span gains 1-based `line`/`column` fields.
+    pub fn to_json(&self, source: Option<&str>) -> String {
+        let mut fields = vec![
+            format!("\"code\":\"{}\"", self.code),
+            format!("\"severity\":\"{}\"", self.severity),
+            format!("\"message\":{}", json_string(&self.message)),
+        ];
+        if let Some(h) = &self.help {
+            fields.push(format!("\"help\":{}", json_string(h)));
+        }
+        if let Some(span) = self.span {
+            let mut s = format!("\"start\":{},\"end\":{}", span.start, span.end);
+            if let Some(src) = source {
+                let (line, col) = line_col(src, span.start);
+                s.push_str(&format!(",\"line\":{line},\"column\":{col}"));
+            }
+            fields.push(format!("\"span\":{{{s}}}"));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// All diagnostics of one analyzer run, in emission order (lints run in
+/// code order, so PV001 findings precede PV002, and so on).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one diagnostic is an error — the kernel must be
+    /// refused by checked synthesis.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics with the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Diagnostics carrying the given code.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Renders every diagnostic rustc-style, followed by a one-line tally.
+    pub fn render(&self, origin: &str, source: Option<&str>) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(origin, source));
+        }
+        out.push_str(&format!(
+            "{origin}: {} error(s), {} warning(s), {} note(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+        ));
+        out
+    }
+
+    /// The machine-readable JSON object for the whole report.
+    pub fn to_json(&self, source: Option<&str>) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(|d| d.to_json(source)).collect();
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"notes\":{},\"diagnostics\":[{}]}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+            items.join(",")
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Code::Parse.as_str(), "PV000");
+        assert_eq!(Code::OutOfBounds.as_str(), "PV001");
+        assert_eq!(Code::DeadlockRisk.as_str(), "PV002");
+        assert_eq!(Code::QueueDepth.as_str(), "PV003");
+        assert_eq!(Code::DisjointPair.as_str(), "PV004");
+        assert_eq!(Code::DeadStore.as_str(), "PV005");
+        assert_eq!(Code::PairReduction.as_str(), "PV006");
+    }
+
+    #[test]
+    fn report_tallies_severities() {
+        let mut r = Report::default();
+        r.push(Diagnostic::error(Code::OutOfBounds, "oob"));
+        r.push(Diagnostic::warning(Code::DeadStore, "dead"));
+        r.push(Diagnostic::note(Code::DisjointPair, "safe"));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Note), 1);
+        assert_eq!(r.with_code(Code::DeadStore).len(), 1);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn diagnostic_renders_with_span_and_source() {
+        let src = "int a[4];\nfor (int i = 0; i < 4; ++i) {\n  a[i + 9] = 1;\n}\n";
+        let at = src.find("i + 9").expect("present");
+        let d = Diagnostic::error(Code::OutOfBounds, "index out of bounds")
+            .with_span(Some(Span::new(at, at + 5)))
+            .with_help("shrink the index");
+        let text = d.render("t.pvk", Some(src));
+        assert!(text.contains("error[PV001]: index out of bounds"));
+        assert!(text.contains("t.pvk:3:5"));
+        assert!(text.contains("^^^^^"));
+        assert!(text.contains("help: shrink the index"));
+    }
+
+    #[test]
+    fn diagnostic_json_carries_line_and_column() {
+        let src = "int a[4];\nfor (int i = 0; i < 4; ++i) {\n  a[i] = 1;\n}\n";
+        let d = Diagnostic::note(Code::DisjointPair, "bypassed")
+            .with_span(Some(Span::new(42, 46)));
+        let j = d.to_json(Some(src));
+        assert!(j.contains("\"code\":\"PV004\""));
+        assert!(j.contains("\"severity\":\"note\""));
+        assert!(j.contains("\"start\":42"));
+        assert!(j.contains("\"line\":"));
+        let no_src = d.to_json(None);
+        assert!(no_src.contains("\"start\":42") && !no_src.contains("\"line\":"));
+    }
+}

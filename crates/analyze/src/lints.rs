@@ -1,0 +1,385 @@
+//! The individual analyses (PV001–PV006). Each lint pushes into a shared
+//! [`Report`]; the orchestration lives in [`crate::analyze`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use prevv_core::sizing::{expr_latency, recommend_depth, PairTiming};
+use prevv_dataflow::Value;
+use prevv_ir::depend::{pair_distances, refine_pairs, Dependences, StaticMemOp};
+use prevv_ir::{Expr, KernelSpec, MemOpKind, Span};
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::AnalyzeOptions;
+
+/// Evaluates an affine expression over one iteration-space row.
+///
+/// # Panics
+///
+/// Panics on `Load`/`Opaque` nodes — callers must filter with
+/// [`Expr::is_runtime_dependent`] first.
+fn eval_affine(e: &Expr, row: &[Value]) -> Value {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::IndVar(l) => row[*l],
+        Expr::Binary(op, l, r) => op.apply(eval_affine(l, row), eval_affine(r, row)),
+        Expr::Load(..) | Expr::Opaque(..) => {
+            unreachable!("affine evaluation reached a runtime-dependent node")
+        }
+    }
+}
+
+/// True when the statement's guard passes (or it has none) for this row.
+/// Guards are affine by [`KernelSpec::validate`].
+fn guard_passes(spec: &KernelSpec, stmt: usize, row: &[Value]) -> bool {
+    match &spec.body[stmt].guard {
+        None => true,
+        Some(g) => eval_affine(g, row) != 0,
+    }
+}
+
+/// Source span of each static op, aligned with `ops` (the `k`-th op of a
+/// statement maps to [`prevv_ir::Stmt::op_span`] with that ordinal).
+fn op_spans(spec: &KernelSpec, ops: &[StaticMemOp]) -> Vec<Option<Span>> {
+    let mut next = vec![0usize; spec.body.len()];
+    ops.iter()
+        .map(|op| {
+            let k = next[op.stmt];
+            next[op.stmt] += 1;
+            spec.body[op.stmt].op_span(k)
+        })
+        .collect()
+}
+
+fn array_name(spec: &KernelSpec, id: prevv_ir::ArrayId) -> &str {
+    &spec.arrays[id.0].name
+}
+
+/// PV001 — out-of-bounds affine access. Enumerates every affine index over
+/// the (guard-filtered) iteration space and compares against the declared
+/// array length. A hit is a hard error: the runtime wraps indices modulo the
+/// length, so the circuit "works", but it silently touches the wrong cell.
+pub(crate) fn check_bounds(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
+    let space = spec.iteration_space();
+    let spans = op_spans(spec, &deps.ops);
+    for op in &deps.ops {
+        if op.index.is_runtime_dependent() {
+            continue;
+        }
+        let len = spec.arrays[op.array.0].len as Value;
+        let hit = space
+            .iter()
+            .filter(|row| guard_passes(spec, op.stmt, row))
+            .find_map(|row| {
+                let raw = eval_affine(&op.index, row);
+                (raw < 0 || raw >= len).then_some((raw, row.clone()))
+            });
+        if let Some((raw, row)) = hit {
+            let kind = match op.kind {
+                MemOpKind::Load => "load",
+                MemOpKind::Store => "store",
+            };
+            let name = array_name(spec, op.array);
+            report.push(
+                Diagnostic::error(
+                    Code::OutOfBounds,
+                    format!(
+                        "{kind} index {raw} is out of bounds for `{name}` of length {len} \
+                         (first at iteration {row:?})"
+                    ),
+                )
+                .with_span(spans[op.id])
+                .with_help(format!(
+                    "the runtime wraps indices modulo the array length, silently aliasing \
+                     `{name}[{}]`; fix the index or enlarge the array",
+                    raw.rem_euclid(len)
+                )),
+            );
+        }
+    }
+}
+
+/// PV002 — deadlock risk of guarded ambiguous ops (paper §V-C). A guarded
+/// op in an ambiguous pair must send a fake token when its guard fails, or
+/// the completion frontier never passes that iteration and the premature
+/// queue wedges. With fake tokens enabled this is informational; with them
+/// disabled it is an error (the exact deadlock the paper describes).
+pub(crate) fn check_deadlock(
+    spec: &KernelSpec,
+    deps: &Dependences,
+    opts: &AnalyzeOptions,
+    report: &mut Report,
+) {
+    let ambiguous = deps.ambiguous_ops();
+    let mut flagged_stmts = Vec::new();
+    for op in &deps.ops {
+        if op.guarded && ambiguous.contains(&op.id) && !flagged_stmts.contains(&op.stmt) {
+            flagged_stmts.push(op.stmt);
+        }
+    }
+    for si in flagged_stmts {
+        let span = spec.body[si].span();
+        let name = array_name(spec, spec.body[si].array);
+        if opts.fake_tokens {
+            report.push(
+                Diagnostic::note(
+                    Code::DeadlockRisk,
+                    format!(
+                        "guarded statement updates `{name}` through an ambiguous pair; \
+                         untaken guards must send fake tokens so the premature queue drains \
+                         (paper \u{a7}V-C) — synthesis emits them"
+                    ),
+                )
+                .with_span(span),
+            );
+        } else {
+            report.push(
+                Diagnostic::error(
+                    Code::DeadlockRisk,
+                    format!(
+                        "guarded statement updates `{name}` through an ambiguous pair with \
+                         fake tokens disabled: the first untaken guard wedges the premature \
+                         queue (paper \u{a7}V-C deadlock)"
+                    ),
+                )
+                .with_span(span)
+                .with_help("re-enable fake tokens (`SynthOptions::fake_tokens`)"),
+            );
+        }
+    }
+}
+
+/// PV003 — premature-queue depth. A depth below the per-iteration op count
+/// can never advance the completion frontier (the controller refuses it at
+/// construction); a depth below the matched-pair recommendation of
+/// [`prevv_core::sizing`] merely stalls.
+pub(crate) fn check_depth(
+    spec: &KernelSpec,
+    deps: &Dependences,
+    opts: &AnalyzeOptions,
+    report: &mut Report,
+) {
+    let needed = spec.mem_ops_per_iter();
+    if opts.depth < needed {
+        report.push(
+            Diagnostic::error(
+                Code::QueueDepth,
+                format!(
+                    "premature queue depth {} cannot hold one iteration's {needed} memory \
+                     ops; the completion frontier would never advance",
+                    opts.depth
+                ),
+            )
+            .with_help(format!("configure depth_q >= {needed}")),
+        );
+        return;
+    }
+    // First-order matched-pair model (paper §V-A): t_org from the statement
+    // datapath, t_token from the whole iteration body, squash probability
+    // from the conflict-distance profile.
+    let read_latency = prevv_mem::MemTiming::default().read_latency;
+    let t_token: f64 = spec
+        .body
+        .iter()
+        .map(|s| expr_latency(&s.index, read_latency) + expr_latency(&s.value, read_latency) + 1.0)
+        .sum();
+    let refinement = refine_pairs(spec, deps);
+    let distances = pair_distances(spec, deps);
+    let timings: Vec<PairTiming> = refinement
+        .pairs
+        .iter()
+        .map(|pair| {
+            let stmt = &spec.body[deps.ops[pair.store].stmt];
+            let t_org =
+                expr_latency(&stmt.index, read_latency) + expr_latency(&stmt.value, read_latency) + 1.0;
+            let squash_probability = match distances
+                .iter()
+                .find(|d| d.pair == *pair)
+                .and_then(|d| d.min_distance)
+            {
+                Some(d) => 1.0 / (d as f64 + 1.0),
+                None => 0.25, // runtime-dependent: collisions are data-dependent
+            };
+            PairTiming {
+                t_org,
+                squash_probability,
+                t_token,
+            }
+        })
+        .collect();
+    if timings.is_empty() {
+        return;
+    }
+    let recommended = recommend_depth(&timings).max(needed);
+    if opts.depth < recommended {
+        report.push(
+            Diagnostic::warning(
+                Code::QueueDepth,
+                format!(
+                    "premature queue depth {} is below the matched-pair recommendation \
+                     {recommended} (paper \u{a7}V-A); expect live-out tokens to stall",
+                    opts.depth
+                ),
+            )
+            .with_help(format!("configure depth_q = {recommended}")),
+        );
+    }
+}
+
+/// PV004 — provably-disjoint pairs. Reports every pair
+/// [`prevv_ir::depend::refine_pairs`] bypasses: all address collisions are
+/// same-iteration load-before-store, which the in-order store commit already
+/// serializes, so synthesis drops the pair from the arbiter's validated set.
+pub(crate) fn check_disjoint(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
+    let spans = op_spans(spec, &deps.ops);
+    for pair in refine_pairs(spec, deps).bypassed {
+        let load = &deps.ops[pair.load];
+        let name = array_name(spec, load.array);
+        report.push(
+            Diagnostic::note(
+                Code::DisjointPair,
+                format!(
+                    "load/store pair on `{name}` is provably disjoint across iterations \
+                     (every collision is same-iteration, program-order protected); the \
+                     arbiter is bypassed for it"
+                ),
+            )
+            .with_span(spans[pair.load].or(spans[pair.store])),
+        );
+    }
+}
+
+/// PV005 — dead stores and unused arrays. Unused arrays are purely
+/// declarative. Dead stores are found by exact replay of the canonical op
+/// order over the iteration space (guards evaluated, so this is precise);
+/// arrays with any runtime-dependent access are skipped conservatively.
+/// A store is dead when none of its dynamic instances is read afterwards
+/// nor survives to the final array contents (the kernel's output).
+pub(crate) fn check_dead_stores(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
+    let spans = op_spans(spec, &deps.ops);
+
+    for (ai, decl) in spec.arrays.iter().enumerate() {
+        if !deps.ops.iter().any(|op| op.array.0 == ai) {
+            report.push(Diagnostic::warning(
+                Code::DeadStore,
+                format!("array `{}` is declared but never accessed", decl.name),
+            ));
+        }
+    }
+
+    // Arrays whose every access is affine can be replayed exactly.
+    let mut exact = vec![true; spec.arrays.len()];
+    for op in &deps.ops {
+        if op.index.is_runtime_dependent() {
+            exact[op.array.0] = false;
+        }
+    }
+
+    let space = spec.iteration_space();
+    // `pending[array][addr]` = op id of the last store there, not yet read.
+    let mut pending: Vec<HashMap<usize, usize>> = vec![HashMap::new(); spec.arrays.len()];
+    let mut observed = vec![false; deps.ops.len()];
+    let mut executed = vec![false; deps.ops.len()];
+    for row in &space {
+        for op in &deps.ops {
+            if !exact[op.array.0] || !guard_passes(spec, op.stmt, row) {
+                continue;
+            }
+            executed[op.id] = true;
+            let addr = spec.resolve_index(op.array, eval_affine(&op.index, row));
+            match op.kind {
+                MemOpKind::Load => {
+                    if let Some(sid) = pending[op.array.0].remove(&addr) {
+                        observed[sid] = true;
+                    }
+                }
+                MemOpKind::Store => {
+                    pending[op.array.0].insert(addr, op.id);
+                }
+            }
+        }
+    }
+    // Values still in place at the end are the kernel's output.
+    for per_array in pending {
+        for (_, sid) in per_array {
+            observed[sid] = true;
+        }
+    }
+
+    for op in &deps.ops {
+        if op.kind != MemOpKind::Store || !exact[op.array.0] {
+            continue;
+        }
+        let name = array_name(spec, op.array);
+        if !executed[op.id] {
+            report.push(
+                Diagnostic::warning(
+                    Code::DeadStore,
+                    format!("store to `{name}` never executes: its guard is always false"),
+                )
+                .with_span(spans[op.id].or(spec.body[op.stmt].span())),
+            );
+        } else if !observed[op.id] {
+            report.push(
+                Diagnostic::warning(
+                    Code::DeadStore,
+                    format!(
+                        "store to `{name}` is dead: every value it writes is overwritten \
+                         before being read or emitted"
+                    ),
+                )
+                .with_span(spans[op.id].or(spec.body[op.stmt].span())),
+            );
+        }
+    }
+}
+
+/// PV006 — pair-reduction opportunity (paper §V-B, Eq. 11–12). Counts the
+/// validation searches that collapsing runs of consecutive same-kind
+/// ambiguous ops would eliminate; emitted only when `pair_reduction` is
+/// disabled (when enabled, synthesis already applies it).
+pub(crate) fn check_pair_reduction(
+    spec: &KernelSpec,
+    deps: &Dependences,
+    opts: &AnalyzeOptions,
+    report: &mut Report,
+) {
+    if opts.pair_reduction {
+        return;
+    }
+    let ambiguous = deps.ambiguous_ops();
+    let mut per_array: BTreeMap<usize, Vec<&StaticMemOp>> = BTreeMap::new();
+    for op in &deps.ops {
+        if ambiguous.contains(&op.id) {
+            per_array.entry(op.array.0).or_default().push(op);
+        }
+    }
+    let mut eliminable = 0usize;
+    for ops in per_array.values() {
+        let mut run_kind: Option<MemOpKind> = None;
+        let mut run_len = 0usize;
+        for op in ops {
+            if run_kind == Some(op.kind) {
+                run_len += 1;
+            } else {
+                eliminable += run_len.saturating_sub(1);
+                run_kind = Some(op.kind);
+                run_len = 1;
+            }
+        }
+        eliminable += run_len.saturating_sub(1);
+    }
+    if eliminable > 0 {
+        let total = ambiguous.len();
+        report.push(
+            Diagnostic::note(
+                Code::PairReduction,
+                format!(
+                    "pair reduction (paper \u{a7}V-B) would eliminate {eliminable} of \
+                     {total} validation searches on `{}`, but `pair_reduction` is disabled",
+                    spec.name
+                ),
+            )
+            .with_help("enable `PrevvConfig::pair_reduction` to shrink the arbiter"),
+        );
+    }
+}

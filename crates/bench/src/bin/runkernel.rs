@@ -81,11 +81,28 @@ fn main() {
     let spec = match prevv::ir::parse::parse_kernel(name, &source) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("{e}");
+            eprintln!("{}", e.render(&args.path, &source));
             std::process::exit(1);
         }
     };
     println!("parsed `{name}`:\n{}", prevv::ir::pretty::render(&spec));
+
+    // Static analysis before synthesis: print the findings, refuse kernels
+    // with error-severity diagnostics (run `prevv-lint` for details/JSON).
+    let lint_opts = match &args.controller {
+        Controller::Prevv(cfg) => prevv::AnalyzeOptions::for_config(cfg),
+        _ => prevv::AnalyzeOptions::default(),
+    };
+    let lint = prevv::analyze::analyze(&spec, &lint_opts);
+    if lint.is_empty() {
+        println!("lint: clean\n");
+    } else {
+        println!("{}", lint.render(&args.path, Some(&source)));
+    }
+    if lint.has_errors() {
+        eprintln!("refusing to synthesize: static analysis reported errors");
+        std::process::exit(1);
+    }
 
     let mut synth = match prevv::ir::synthesize(&spec) {
         Ok(s) => s,
@@ -96,9 +113,10 @@ fn main() {
     };
     let deps = &synth.deps;
     println!(
-        "{} memory ops/iteration, {} ambiguous pair(s), {} iterations\n",
+        "{} memory ops/iteration, {} ambiguous pair(s) ({} bypassed), {} iterations\n",
         spec.mem_ops_per_iter(),
         deps.pairs.len(),
+        synth.bypassed.len(),
         spec.iteration_count()
     );
 

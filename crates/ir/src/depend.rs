@@ -238,6 +238,46 @@ pub fn pair_distances(spec: &KernelSpec, deps: &Dependences) -> Vec<PairDistance
         .collect()
 }
 
+/// The outcome of [`refine_pairs`]: the ambiguous pairs split into those
+/// that still need runtime validation and those proven safe statically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refinement {
+    /// Pairs that must be validated at runtime.
+    pub pairs: Vec<AmbiguousPair>,
+    /// Pairs whose every address collision is protected by same-iteration
+    /// program order — the controller may bypass the arbiter for them
+    /// (the `prevv-analyze` PV004 fast path).
+    pub bypassed: Vec<AmbiguousPair>,
+}
+
+/// Splits the ambiguous pairs into runtime-validated and provably-safe sets.
+///
+/// A pair is provably safe when both indices are affine (so its address
+/// streams are known exactly) and [`pair_distances`] finds no collision
+/// outside same-iteration program order (`min_distance == None`): every time
+/// the load and store touch the same cell, the load is earlier in the same
+/// iteration's order ROM, which the in-order commit of stores below the
+/// completion frontier already serializes. Removing such a pair from the
+/// validated set skips the arbiter's head-to-tail search for its ops without
+/// weakening validation of any remaining pair — arriving validated ops are
+/// still compared against *all* resident queue records.
+pub fn refine_pairs(spec: &KernelSpec, deps: &Dependences) -> Refinement {
+    let mut pairs = Vec::new();
+    let mut bypassed = Vec::new();
+    for d in pair_distances(spec, deps) {
+        let load = &deps.ops[d.pair.load];
+        let store = &deps.ops[d.pair.store];
+        let affine =
+            !load.index.is_runtime_dependent() && !store.index.is_runtime_dependent();
+        if affine && d.min_distance.is_none() {
+            bypassed.push(d.pair);
+        } else {
+            pairs.push(d.pair);
+        }
+    }
+    Refinement { pairs, bypassed }
+}
+
 fn eval_affine(e: &Expr, row: &[Value]) -> Value {
     match e {
         Expr::Const(v) => *v,
@@ -382,6 +422,70 @@ mod tests {
         // can occur.
         let dist = pair_distances(&k, &d);
         assert_eq!(dist[0].min_distance, None);
+    }
+
+    #[test]
+    fn refinement_bypasses_program_order_protected_pairs() {
+        // Same shape as `pair_distances_respect_program_order_within_iteration`:
+        // the only collisions are same-iteration load-before-store.
+        let a = ArrayId(0);
+        let k = KernelSpec::new(
+            "pure",
+            vec![LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 8)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0),
+                Expr::load(a, Expr::var(0)).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        let d = analyze(&k);
+        let r = refine_pairs(&k, &d);
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.bypassed.len(), 1);
+    }
+
+    #[test]
+    fn refinement_keeps_cross_iteration_and_runtime_pairs() {
+        use crate::expr::OpaqueFn;
+        // Cross-iteration reuse (accumulation over a nest) stays validated.
+        let c = ArrayId(0);
+        let k = KernelSpec::new(
+            "accum",
+            vec![LoopLevel::upto(2), LoopLevel::upto(3)],
+            vec![ArrayDecl::zeroed("c", 4)],
+            vec![Stmt::store(
+                c,
+                Expr::var(0),
+                Expr::load(c, Expr::var(0)).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        let d = analyze(&k);
+        let r = refine_pairs(&k, &d);
+        assert_eq!(r.pairs.len(), 1);
+        assert!(r.bypassed.is_empty());
+
+        // Runtime-dependent indices always stay validated, even though their
+        // distance is unknowable.
+        let a = ArrayId(0);
+        let idx = Expr::var(0).opaque(OpaqueFn::new(3, 4));
+        let k = KernelSpec::new(
+            "rt",
+            vec![LoopLevel::upto(8)],
+            vec![ArrayDecl::zeroed("a", 8)],
+            vec![Stmt::store(
+                a,
+                idx.clone(),
+                Expr::load(a, idx).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        let d = analyze(&k);
+        let r = refine_pairs(&k, &d);
+        assert_eq!(r.pairs.len(), d.pairs.len());
+        assert!(r.bypassed.is_empty());
     }
 
     #[test]

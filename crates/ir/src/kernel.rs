@@ -6,6 +6,7 @@ use prevv_dataflow::components::{iteration_space, LoopLevel};
 use prevv_dataflow::Value;
 
 use crate::expr::{ArrayId, Expr};
+use crate::span::Span;
 
 /// How an array's initial contents are produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,13 +60,32 @@ impl ArrayDecl {
     }
 }
 
+/// Source locations attached to a parsed statement; all fields are optional
+/// because kernels built programmatically carry no source text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StmtSpans {
+    /// The whole statement, guard included, up to the closing `;`.
+    pub stmt: Option<Span>,
+    /// The store target `a[...]`, index included.
+    pub target: Option<Span>,
+    /// The index expression between the target's brackets.
+    pub index: Option<Span>,
+    /// Spans of the load operations in canonical program order (index loads
+    /// first, then value loads) — aligned with [`Expr::loads`].
+    pub loads: Vec<Span>,
+}
+
 /// A guarded store statement: `if guard { array[index] = value }`.
 ///
 /// All memory traffic in a kernel comes from these statements: the loads are
 /// the `Expr::Load` nodes inside `index` and `value`, and the store is the
 /// statement itself. Read-modify-write updates (`a[x] += v`) are expressed
 /// by loading inside `value`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares semantics only: two statements with the same array,
+/// index, value and guard are equal even if one was parsed (and carries
+/// source spans) and the other built programmatically.
+#[derive(Debug, Clone, Eq)]
 pub struct Stmt {
     /// Target array.
     pub array: ArrayId,
@@ -78,6 +98,17 @@ pub struct Stmt {
     /// nonzero. Guarded statements are what create the deadlock hazard of
     /// paper §V-C.
     pub guard: Option<Expr>,
+    /// Source locations (populated by the parser, empty otherwise).
+    spans: StmtSpans,
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.array == other.array
+            && self.index == other.index
+            && self.value == other.value
+            && self.guard == other.guard
+    }
 }
 
 impl Stmt {
@@ -88,6 +119,7 @@ impl Stmt {
             index,
             value,
             guard: None,
+            spans: StmtSpans::default(),
         }
     }
 
@@ -98,6 +130,42 @@ impl Stmt {
             index,
             value,
             guard: Some(guard),
+            spans: StmtSpans::default(),
+        }
+    }
+
+    /// Attaches source spans (builder style; used by the parser).
+    pub fn with_spans(mut self, spans: StmtSpans) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// Source locations recorded for this statement, if it was parsed.
+    pub fn spans(&self) -> &StmtSpans {
+        &self.spans
+    }
+
+    /// Span of the whole statement, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.spans.stmt
+    }
+
+    /// Span of the store's index expression, when known.
+    pub fn index_span(&self) -> Option<Span> {
+        self.spans.index
+    }
+
+    /// Span of the `k`-th memory operation of this statement in canonical
+    /// program order (index loads, value loads, then the store — the order
+    /// of [`Stmt::mem_op_count`] and `depend::enumerate_ops`). Returns
+    /// `None` when out of range or when the statement carries no spans.
+    pub fn op_span(&self, k: usize) -> Option<Span> {
+        if k < self.spans.loads.len() {
+            Some(self.spans.loads[k])
+        } else if k == self.spans.loads.len() && k + 1 == self.mem_op_count() {
+            self.spans.target
+        } else {
+            None
         }
     }
 

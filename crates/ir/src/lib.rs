@@ -50,10 +50,12 @@ mod iface;
 mod kernel;
 pub mod parse;
 pub mod pretty;
+pub mod span;
 pub mod synth;
 
 pub use expr::{ArrayId, BinOp, Expr, OpaqueFn};
 pub use golden::{GoldenResult, MemEvent, MemOpKind};
 pub use iface::{ArrayLayout, MemoryInterface, MemoryPort};
-pub use kernel::{ArrayDecl, ArrayInit, KernelError, KernelSpec, Stmt};
+pub use kernel::{ArrayDecl, ArrayInit, KernelError, KernelSpec, Stmt, StmtSpans};
+pub use span::Span;
 pub use synth::{synthesize, synthesize_with, SynthOptions, SynthesizedKernel};

@@ -24,7 +24,8 @@ use prevv_dataflow::components::{Bound, LoopLevel};
 use prevv_dataflow::Value;
 
 use crate::expr::{ArrayId, BinOp, Expr, OpaqueFn};
-use crate::kernel::{ArrayDecl, KernelError, KernelSpec, Stmt};
+use crate::kernel::{ArrayDecl, KernelError, KernelSpec, Stmt, StmtSpans};
+use crate::span::{self, Span};
 
 /// A parse failure, with a byte offset into the source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +43,31 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// 1-based line and column of the failure within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        span::line_col(source, self.at)
+    }
+
+    /// Renders the error rustc-style against the original source, with a
+    /// caret under the offending column:
+    ///
+    /// ```text
+    /// error: expected `]`, found `;`
+    ///  --> bad.pvk:3:10
+    ///   |
+    /// 3 |   a[i + 1 = 5;
+    ///   |          ^
+    /// ```
+    pub fn render(&self, origin: &str, source: &str) -> String {
+        format!(
+            "error: {}\n{}",
+            self.message,
+            span::render_snippet(source, origin, Span::point(self.at))
+        )
+    }
+}
 
 impl From<KernelError> for ParseError {
     fn from(e: KernelError) -> Self {
@@ -85,13 +111,21 @@ pub fn parse_kernel(name: &str, source: &str) -> Result<KernelSpec, ParseError> 
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
+    /// Spans of array-load expressions, pushed as each load finishes parsing
+    /// (inner loads before the loads containing them — the same depth-first
+    /// order as [`Expr::loads`]). Drained per statement.
+    load_spans: Vec<Span>,
 }
 
 type Arrays = Vec<(String, ArrayDecl)>;
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src, pos: 0 }
+        Parser {
+            src,
+            pos: 0,
+            load_spans: Vec::new(),
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -136,11 +170,16 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, token: &str) -> Result<(), ParseError> {
         if self.eat(token) {
             Ok(())
+        } else if self.at_end() {
+            Err(self.error(format!("expected `{token}`, found end of input")))
         } else {
-            Err(self.error(format!(
-                "expected `{token}`, found `{}`",
-                self.rest().chars().take(12).collect::<String>()
-            )))
+            let found: String = self
+                .rest()
+                .chars()
+                .take_while(|c| !c.is_whitespace())
+                .take(12)
+                .collect();
+            Err(self.error(format!("expected `{token}`, found `{found}`")))
         }
     }
 
@@ -339,6 +378,8 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_stmt(&mut self, arrays: &Arrays, loop_vars: &[String]) -> Result<Stmt, ParseError> {
+        self.skip_ws();
+        let stmt_start = self.pos;
         let guard = if self.peek_keyword("if") {
             self.expect("if")?;
             self.expect("(")?;
@@ -348,12 +389,24 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
+        // Guards must be affine (no loads — enforced by validation), so any
+        // spans recorded while parsing one are discarded to keep the span
+        // list aligned with the statement's canonical memory-op order.
+        self.load_spans.clear();
+        self.skip_ws();
+        let target_start = self.pos;
         let target = self.ident()?;
         let array = self.array_id(arrays, &target)?;
         self.expect("[")?;
-        let index = self.parse_expr(arrays, loop_vars)?;
-        self.expect("]")?;
         self.skip_ws();
+        let index_start = self.pos;
+        let index = self.parse_expr(arrays, loop_vars)?;
+        let index_span = Span::new(index_start, self.pos);
+        let index_load_spans = std::mem::take(&mut self.load_spans);
+        self.expect("]")?;
+        let target_span = Span::new(target_start, self.pos);
+        self.skip_ws();
+        let compound = self.rest().starts_with("+=") || self.rest().starts_with("-=");
         let value = if self.eat("+=") {
             Expr::load(array, index.clone()).add(self.parse_expr(arrays, loop_vars)?)
         } else if self.eat("-=") {
@@ -363,11 +416,29 @@ impl<'a> Parser<'a> {
         } else {
             return Err(self.error("expected `=`, `+=` or `-=`"));
         };
+        let rhs_load_spans = std::mem::take(&mut self.load_spans);
         self.expect(";")?;
+        // Canonical memory-op order: index loads, then value loads, then the
+        // store. A compound update's value is `load(target) op rhs`, whose
+        // loads are the cloned index's loads, the implicit target load, then
+        // the right-hand side's loads.
+        let mut loads = index_load_spans.clone();
+        if compound {
+            loads.extend(index_load_spans);
+            loads.push(target_span);
+        }
+        loads.extend(rhs_load_spans);
+        let spans = StmtSpans {
+            stmt: Some(Span::new(stmt_start, self.pos)),
+            target: Some(target_span),
+            index: Some(index_span),
+            loads,
+        };
         Ok(match guard {
             Some(g) => Stmt::guarded(array, index, value, g),
             None => Stmt::store(array, index, value),
-        })
+        }
+        .with_spans(spans))
     }
 
     // --- expressions (precedence climbing) ----------------------------------
@@ -438,6 +509,7 @@ impl<'a> Parser<'a> {
 
     fn parse_primary(&mut self, arrays: &Arrays, loop_vars: &[String]) -> Result<Expr, ParseError> {
         self.skip_ws();
+        let primary_start = self.pos;
         let c = self
             .rest()
             .chars()
@@ -466,6 +538,8 @@ impl<'a> Parser<'a> {
             self.expect("[")?;
             let idx = self.parse_expr(arrays, loop_vars)?;
             self.expect("]")?;
+            // Record after any inner loads, matching `Expr::loads` order.
+            self.load_spans.push(Span::new(primary_start, self.pos));
             return Ok(Expr::load(array, idx));
         }
         if let Some(level) = loop_vars.iter().position(|v| *v == name) {
@@ -593,6 +667,71 @@ for (int i = 0; i < 6; ++i) {
         .expect("parses");
         let g = golden::execute(&spec);
         assert_eq!(g.arrays[0][3], 7, "1 + (3*2), not (1+3)*2");
+    }
+
+    #[test]
+    fn statements_carry_source_spans() {
+        let src = "int a[8];\nint b[4] = { 2, 0, 3, 1 };\nfor (int i = 0; i < 4; ++i) {\n  a[b[i]] += 7;\n  b[i] = b[i] * 2;\n}";
+        let spec = parse_kernel("spans", src).expect("parses");
+
+        let s0 = &spec.body[0];
+        let stmt_span = s0.span().expect("stmt span");
+        assert_eq!(&src[stmt_span.start..stmt_span.end], "a[b[i]] += 7;");
+        let idx = s0.index_span().expect("index span");
+        assert_eq!(&src[idx.start..idx.end], "b[i]");
+        // Canonical op order for `a[b[i]] += 7`: load b[i] (index), load
+        // b[i] (cloned index inside the implicit target load), load a[b[i]],
+        // then the store. Spans must cover every op.
+        assert_eq!(s0.mem_op_count(), 4);
+        let texts: Vec<&str> = (0..4)
+            .map(|k| {
+                let sp = s0.op_span(k).expect("op span");
+                &src[sp.start..sp.end]
+            })
+            .collect();
+        assert_eq!(texts, vec!["b[i]", "b[i]", "a[b[i]]", "a[b[i]]"]);
+
+        let s1 = &spec.body[1];
+        let stmt_span = s1.span().expect("stmt span");
+        assert_eq!(&src[stmt_span.start..stmt_span.end], "b[i] = b[i] * 2;");
+        assert_eq!(s1.mem_op_count(), 2);
+        let sp = s1.op_span(0).expect("value load span");
+        assert_eq!(&src[sp.start..sp.end], "b[i]");
+        let (line, col) = sp.line_col(src);
+        assert_eq!((line, col), (5, 10));
+    }
+
+    #[test]
+    fn guarded_statement_spans_include_the_guard() {
+        let src = "int a[8];\nfor (int i = 0; i < 4; ++i) {\n  if (i % 2 == 0) a[i] += 1;\n}";
+        let spec = parse_kernel("g", src).expect("parses");
+        let sp = spec.body[0].span().expect("span");
+        assert_eq!(&src[sp.start..sp.end], "if (i % 2 == 0) a[i] += 1;");
+        // Guard loads never leak into the op spans.
+        assert_eq!(spec.body[0].mem_op_count(), 2);
+        assert!(spec.body[0].op_span(0).is_some());
+        assert!(spec.body[0].op_span(1).is_some());
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_failure() {
+        let src = "int a[4];\nfor (int i = 0; i < 4; ++i) {\n  a[i + 1 = 5;\n}";
+        let err = parse_kernel("bad", src).expect_err("must fail");
+        let rendered = err.render("bad.pvk", src);
+        assert!(rendered.starts_with("error: expected `]`"), "{rendered}");
+        assert!(rendered.contains("--> bad.pvk:3:11"), "{rendered}");
+        assert!(rendered.contains("3 |   a[i + 1 = 5;"), "{rendered}");
+        // The caret lines up with the offending `=` in the echoed source.
+        let text_line = rendered.lines().nth(3).unwrap();
+        let caret_line = rendered.lines().nth(4).unwrap();
+        assert_eq!(caret_line.find('^'), text_line.find('='), "{rendered}");
+    }
+
+    #[test]
+    fn expect_reports_end_of_input() {
+        let err = parse_kernel("bad", "int a[4];\nfor (int i = 0; i < 4; ++i) { a[i] = 1")
+            .expect_err("must fail");
+        assert!(err.message.contains("end of input"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Source spans and rustc-style snippet rendering.
+//!
+//! The parser records byte spans for statements and memory operations so
+//! downstream tooling (the [`parse`](crate::parse) error printer and the
+//! `prevv-analyze` lints) can point at the offending source text instead of
+//! statement indices.
+
+/// A half-open byte range `[start, end)` into kernel source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span; `end` is clamped to be at least `start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end: end.max(start) }
+    }
+
+    /// A zero-width span at one offset.
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// 1-based line and column of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        line_col(source, self.start)
+    }
+}
+
+/// 1-based line and column of byte `offset` within `source` (columns count
+/// characters, not bytes; offsets past the end point one past the last line).
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = clamp_to_char_boundary(source, offset);
+    let before = &source[..offset];
+    let line = before.matches('\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let col = before[line_start..].chars().count() + 1;
+    (line, col)
+}
+
+fn clamp_to_char_boundary(source: &str, mut offset: usize) -> usize {
+    offset = offset.min(source.len());
+    while offset > 0 && !source.is_char_boundary(offset) {
+        offset -= 1;
+    }
+    offset
+}
+
+/// Renders a rustc-style source snippet with a caret line:
+///
+/// ```text
+///  --> fig2a.pvk:4:5
+///   |
+/// 4 |   a[b[i]] += 5;
+///   |   ^^^^^^^
+/// ```
+///
+/// The carets underline the span's characters on its starting line (always at
+/// least one caret, even for zero-width spans).
+pub fn render_snippet(source: &str, origin: &str, span: Span) -> String {
+    let start = clamp_to_char_boundary(source, span.start);
+    let end = clamp_to_char_boundary(source, span.end.max(span.start));
+    let (line, col) = line_col(source, start);
+
+    let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = source[start..]
+        .find('\n')
+        .map_or(source.len(), |i| start + i);
+    let text = &source[line_start..line_end];
+
+    // Carets cover the span's characters, but never run past the line end.
+    let underline_end = end.min(line_end).max(start);
+    let n_carets = source[start..underline_end].chars().count().max(1);
+
+    let num = line.to_string();
+    let gutter = " ".repeat(num.len());
+    let mut out = String::new();
+    out.push_str(&format!("{gutter}--> {origin}:{line}:{col}\n"));
+    out.push_str(&format!("{gutter} |\n"));
+    out.push_str(&format!("{num} | {text}\n"));
+    out.push_str(&format!(
+        "{gutter} | {}{}",
+        " ".repeat(col - 1),
+        "^".repeat(n_carets)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 2), (1, 3));
+        assert_eq!(line_col(src, 4), (2, 1));
+        assert_eq!(line_col(src, 10), (3, 3));
+    }
+
+    #[test]
+    fn offsets_past_the_end_are_clamped() {
+        let src = "ab\ncd";
+        assert_eq!(line_col(src, 99), (2, 3));
+    }
+
+    #[test]
+    fn snippet_underlines_the_span() {
+        let src = "int a[4];\nfor (int i = 0; i < 4; ++i) {\n  a[i + 9] = 1;\n}";
+        let at = src.find("i + 9").unwrap();
+        let s = render_snippet(src, "k.pvk", Span::new(at, at + 5));
+        assert!(s.contains("--> k.pvk:3:5"), "{s}");
+        assert!(s.contains("3 |   a[i + 9] = 1;"), "{s}");
+        assert!(s.lines().last().unwrap().contains("^^^^^"), "{s}");
+    }
+
+    #[test]
+    fn zero_width_spans_get_one_caret() {
+        let s = render_snippet("xy", "k.pvk", Span::point(1));
+        assert!(s.lines().last().unwrap().trim_end().ends_with('^'));
+        assert_eq!(s.lines().last().unwrap().matches('^').count(), 1);
+    }
+
+    #[test]
+    fn multibyte_offsets_do_not_panic() {
+        let src = "héllo\nwörld";
+        for at in 0..=src.len() + 2 {
+            let _ = render_snippet(src, "k", Span::point(at));
+        }
+    }
+}

@@ -23,7 +23,7 @@ use prevv_dataflow::components::{
 };
 use prevv_dataflow::{ChannelId, Netlist, SquashBus, Value};
 
-use crate::depend::{analyze, Dependences};
+use crate::depend::{analyze, refine_pairs, AmbiguousPair, Dependences};
 use crate::expr::Expr;
 use crate::golden::MemOpKind;
 use crate::iface::{ArrayLayout, MemoryInterface, MemoryPort};
@@ -42,6 +42,12 @@ pub struct SynthOptions {
     /// source run ahead of slow consumers (Dynamatic's buffer placement);
     /// without it the pipeline serializes on the slowest operand.
     pub slack: usize,
+    /// Drop ambiguous pairs that [`refine_pairs`] proves safe (every
+    /// collision protected by same-iteration program order) from the
+    /// controller's validated set, so the arbiter skips searching for them —
+    /// the `prevv-analyze` PV004 fast path. The conservative analysis is
+    /// still available in [`SynthesizedKernel::deps`].
+    pub bypass_safe_pairs: bool,
 }
 
 impl Default for SynthOptions {
@@ -50,6 +56,7 @@ impl Default for SynthOptions {
             fake_tokens: true,
             opaque_latency: 2,
             slack: 8,
+            bypass_safe_pairs: true,
         }
     }
 }
@@ -67,8 +74,12 @@ pub struct SynthesizedKernel {
     pub bus: SquashBus,
     /// The kernel this circuit implements.
     pub spec: KernelSpec,
-    /// Dependence analysis results.
+    /// Dependence analysis results (conservative: every ambiguous pair,
+    /// including any the interface bypasses).
     pub deps: Dependences,
+    /// Pairs proven safe and excluded from `interface.pairs` (empty unless
+    /// [`SynthOptions::bypass_safe_pairs`] found any).
+    pub bypassed: Vec<AmbiguousPair>,
 }
 
 /// Synthesizes a kernel with default options.
@@ -91,6 +102,14 @@ pub fn synthesize_with(
 ) -> Result<SynthesizedKernel, KernelError> {
     spec.validate()?;
     let deps = analyze(spec);
+    let refinement = if opts.bypass_safe_pairs {
+        refine_pairs(spec, &deps)
+    } else {
+        crate::depend::Refinement {
+            pairs: deps.pairs.clone(),
+            bypassed: Vec::new(),
+        }
+    };
     let mut b = Builder {
         opts,
         net: Netlist::new(),
@@ -169,7 +188,7 @@ pub fn synthesize_with(
         alloc_in,
         arrays,
         iterations,
-        pairs: deps.pairs.clone(),
+        pairs: refinement.pairs,
     };
 
     Ok(SynthesizedKernel {
@@ -178,6 +197,7 @@ pub fn synthesize_with(
         bus,
         spec: spec.clone(),
         deps,
+        bypassed: refinement.bypassed,
     })
 }
 
@@ -469,9 +489,26 @@ mod tests {
 
     #[test]
     fn interface_counts() {
+        // The single-level accumulation's load/store pair only ever collides
+        // within one iteration (load before store), so the default
+        // `bypass_safe_pairs` refinement removes it from the validated set.
         let s = synthesize(&accum_kernel()).expect("synthesizes");
         assert_eq!(s.interface.load_ports(), 1);
         assert_eq!(s.interface.store_ports(), 1);
+        assert_eq!(s.interface.ambiguous_ops().len(), 0);
+        assert_eq!(s.bypassed.len(), 1);
+        assert_eq!(s.deps.pairs.len(), 1, "conservative analysis is retained");
+
+        // Opting out restores the conservative interface.
+        let s = synthesize_with(
+            &accum_kernel(),
+            &SynthOptions {
+                bypass_safe_pairs: false,
+                ..Default::default()
+            },
+        )
+        .expect("synthesizes");
         assert_eq!(s.interface.ambiguous_ops().len(), 2);
+        assert!(s.bypassed.is_empty());
     }
 }

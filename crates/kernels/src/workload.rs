@@ -32,7 +32,7 @@ pub fn diagonally_dominant(n: i64, seed: u64) -> Vec<Value> {
     let mut r = rng(seed);
     let mut m: Vec<Value> = (0..n * n).map(|_| r.gen_range(-2..=2)).collect();
     for i in 0..n {
-        m[(i * n + i) as usize] = 8 + r.gen_range(0..4);
+        m[(i * n + i) as usize] = 8 + r.gen_range(0i64..4);
     }
     m
 }

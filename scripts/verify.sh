@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 (build + tests), lints on the code, and lints
+# on the kernels. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> lint-kernels (stock kernels must be error-free)"
+cargo run -q --release -p prevv-analyze --bin prevv-lint -- kernels/*.pvk
+
+echo "==> lint-kernels (negative fixtures must fail)"
+if cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --no-fake-tokens kernels/bad/*.pvk >/dev/null 2>&1; then
+  echo "error: kernels/bad fixtures unexpectedly linted clean" >&2
+  exit 1
+fi
+
+echo "verify: OK"

@@ -36,6 +36,7 @@
 
 use std::fmt;
 
+pub use prevv_analyze::{AnalyzeError, AnalyzeOptions, Diagnostic, Report, Severity};
 pub use prevv_area::{ControllerKind, DesignReport, Resources};
 pub use prevv_core::{PrevvConfig, PrevvError, PrevvMemory, PrevvStats, SquashEvent};
 pub use prevv_dataflow::{SimConfig, SimError, SimReport, Simulator, Value};
@@ -54,6 +55,8 @@ pub use prevv_core as prevv_core_crate;
 pub use prevv_area as area;
 /// Benchmark kernels.
 pub use prevv_kernels as kernels;
+/// Static analysis (lints) over kernels.
+pub use prevv_analyze as analyze;
 
 /// Which disambiguation controller to attach to a synthesized kernel.
 #[derive(Debug, Clone)]

@@ -1,0 +1,172 @@
+//! Property-based tests for the static analyzer: it must never panic on
+//! any kernel the generator can produce, its PV004 bypass verdicts must be
+//! sound against brute-force address enumeration, and kernels it passes
+//! must simulate correctly under PreVV.
+
+use proptest::prelude::*;
+
+use prevv::analyze::{analyze, AnalyzeOptions};
+use prevv::dataflow::components::LoopLevel;
+use prevv::ir::depend;
+use prevv::ir::{ArrayDecl, ArrayId, BinOp, Expr, KernelSpec, MemOpKind, OpaqueFn, Stmt};
+use prevv::{run_kernel, Controller, PrevvConfig};
+
+const ARRAY_LEN: usize = 12;
+
+/// Index expressions biased toward aliasing, mirroring `tests/properties.rs`
+/// (including out-of-range affine offsets, which PV001 must flag without
+/// panicking, and runtime-dependent shapes, which it must skip).
+fn index_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-2i64..6).prop_map(|c| Expr::var(0).add(Expr::lit(c))),
+        (0i64..4).prop_map(Expr::lit),
+        (0u64..4, 2i64..6).prop_map(|(seed, m)| Expr::var(0).opaque(OpaqueFn::new(seed, m))),
+        Just(Expr::load(ArrayId(1), Expr::var(0))),
+    ]
+}
+
+fn value_expr(target: ArrayId, index: Expr) -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::load(target, index.clone()).add(Expr::var(0))),
+        Just(Expr::load(target, index.clone()).add(Expr::lit(1))),
+        Just(Expr::var(0).mul(Expr::lit(3))),
+        Just(Expr::load(target, index).mul(Expr::lit(2)).add(Expr::lit(1))),
+    ]
+}
+
+prop_compose! {
+    fn statement()(
+        target in 0usize..2,
+        index in index_expr(),
+    )(
+        target in Just(target),
+        index in Just(index.clone()),
+        value in value_expr(ArrayId(target), index),
+        guarded in proptest::bool::weighted(0.3),
+        every in 2i64..4,
+    ) -> Stmt {
+        let array = ArrayId(target);
+        if guarded {
+            Stmt::guarded(
+                array,
+                index,
+                value,
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::bin(BinOp::Rem, Expr::var(0), Expr::lit(every)),
+                    Expr::lit(0),
+                ),
+            )
+        } else {
+            Stmt::store(array, index, value)
+        }
+    }
+}
+
+prop_compose! {
+    fn kernel()(
+        iters in 6i64..24,
+        inner in proptest::option::weighted(0.35, 2i64..4),
+        stmts in proptest::collection::vec(statement(), 1..3),
+        init in proptest::collection::vec(-4i64..4, ARRAY_LEN),
+    ) -> KernelSpec {
+        let levels = match inner {
+            Some(n) => vec![LoopLevel::upto(iters.min(12)), LoopLevel::upto(n)],
+            None => vec![LoopLevel::upto(iters)],
+        };
+        KernelSpec::new(
+            "random",
+            levels,
+            vec![
+                ArrayDecl::zeroed("a", ARRAY_LEN),
+                ArrayDecl::with_values("b", init),
+            ],
+            stmts,
+        ).expect("generated kernels are valid by construction")
+    }
+}
+
+/// Brute-force affine evaluation (the analyzer's independent oracle).
+fn eval_affine(e: &Expr, row: &[i64]) -> i64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::IndVar(l) => row[*l],
+        Expr::Binary(op, l, r) => op.apply(eval_affine(l, row), eval_affine(r, row)),
+        _ => panic!("oracle only evaluates affine expressions"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The analyzer must never panic, and every report must render as text
+    /// and serialize as JSON, for any generated kernel and configuration.
+    #[test]
+    fn analyzer_never_panics(
+        spec in kernel(),
+        depth in 1usize..40,
+        fake_tokens in proptest::arbitrary::any::<bool>(),
+        pair_reduction in proptest::arbitrary::any::<bool>(),
+    ) {
+        let opts = AnalyzeOptions { fake_tokens, depth, pair_reduction };
+        let report = analyze(&spec, &opts);
+        let text = report.render("random", None);
+        prop_assert!(text.contains("error(s)"));
+        let json = report.to_json(None);
+        prop_assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    /// PV004 soundness: every pair the refinement bypasses is verified by
+    /// brute force — both indices affine, and every address collision over
+    /// the whole iteration space is a same-iteration, program-order
+    /// protected load-before-store.
+    #[test]
+    fn pv004_bypass_is_sound(spec in kernel()) {
+        let deps = depend::analyze(&spec);
+        let refinement = depend::refine_pairs(&spec, &deps);
+        let space = spec.iteration_space();
+        for pair in &refinement.bypassed {
+            let load = &deps.ops[pair.load];
+            let store = &deps.ops[pair.store];
+            prop_assert_eq!(load.kind, MemOpKind::Load);
+            prop_assert_eq!(store.kind, MemOpKind::Store);
+            prop_assert!(!load.index.is_runtime_dependent());
+            prop_assert!(!store.index.is_runtime_dependent());
+            for (i1, row1) in space.iter().enumerate() {
+                let la = spec.resolve_index(load.array, eval_affine(&load.index, row1));
+                for (i2, row2) in space.iter().enumerate() {
+                    let sa = spec.resolve_index(store.array, eval_affine(&store.index, row2));
+                    if la == sa {
+                        prop_assert!(
+                            i1 == i2 && load.seq < store.seq,
+                            "bypassed pair collides outside program order: \
+                             load iter {} vs store iter {}", i1, i2
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// End-to-end: a kernel the analyzer passes (no error diagnostics at
+    /// depth 64) simulates correctly under PreVV with the PV004 bypass
+    /// active by default.
+    #[test]
+    fn analyzer_clean_kernels_match_golden(spec in kernel()) {
+        let opts = AnalyzeOptions { depth: 64, ..AnalyzeOptions::default() };
+        prop_assume!(!analyze(&spec, &opts).has_errors());
+        let run = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv64()))
+            .expect("clean kernels run");
+        prop_assert!(run.matches_golden);
+    }
+}

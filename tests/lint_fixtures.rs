@@ -1,0 +1,178 @@
+//! Fixture tests for the static analyzer: the `kernels/bad/` sources must
+//! produce exactly the advertised diagnostic codes, the stock paper kernels
+//! must lint clean of errors, and the PV004 arbiter bypass must be active
+//! (and correct) on a real paper kernel.
+
+use std::path::PathBuf;
+
+use prevv::analyze::{self, AnalyzeOptions, Code, Severity};
+use prevv::ir::parse::parse_kernel;
+use prevv::{run_kernel, run_kernel_with, Controller, PrevvConfig, SimConfig, SynthOptions};
+
+fn read_fixture(rel: &str) -> (String, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .expect("fixture has a stem")
+        .to_string();
+    (name, source)
+}
+
+#[test]
+fn out_of_bounds_fixture_is_pv001_and_refused_by_synthesis() {
+    let (name, source) = read_fixture("kernels/bad/oob.pvk");
+    let report = analyze::lint_source(&name, &source, &AnalyzeOptions::default());
+    assert!(report.has_errors());
+    let d = report.with_code(Code::OutOfBounds);
+    assert_eq!(d.len(), 1, "exactly one PV001: {:?}", report.diagnostics);
+    assert_eq!(d[0].severity, Severity::Error);
+
+    // Checked synthesis refuses the kernel with the PV001 report attached.
+    let spec = parse_kernel(&name, &source).expect("parses");
+    match analyze::synthesize(&spec) {
+        Err(analyze::AnalyzeError::Rejected(r)) => {
+            assert!(!r.with_code(Code::OutOfBounds).is_empty());
+        }
+        other => panic!("expected PV001 rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn undeclared_array_fixture_is_pv000() {
+    let (name, source) = read_fixture("kernels/bad/undeclared.pvk");
+    assert!(parse_kernel(&name, &source).is_err());
+    let report = analyze::lint_source(&name, &source, &AnalyzeOptions::default());
+    assert!(report.has_errors());
+    let d = report.with_code(Code::Parse);
+    assert_eq!(d.len(), 1, "exactly one PV000: {:?}", report.diagnostics);
+    assert!(d[0].span.is_some(), "parse errors carry their offset");
+}
+
+#[test]
+fn guarded_fixture_is_pv002_note_normally_and_error_without_fake_tokens() {
+    let (name, source) = read_fixture("kernels/bad/guarded_nofake.pvk");
+    let normal = analyze::lint_source(&name, &source, &AnalyzeOptions::default());
+    assert!(!normal.has_errors(), "fake tokens make the shape safe");
+    assert_eq!(normal.with_code(Code::DeadlockRisk).len(), 1);
+    assert_eq!(
+        normal.with_code(Code::DeadlockRisk)[0].severity,
+        Severity::Note
+    );
+
+    let no_fakes = analyze::lint_source(
+        &name,
+        &source,
+        &AnalyzeOptions {
+            fake_tokens: false,
+            ..AnalyzeOptions::default()
+        },
+    );
+    assert!(no_fakes.has_errors(), "prevv-lint exits nonzero here");
+    assert_eq!(
+        no_fakes.with_code(Code::DeadlockRisk)[0].severity,
+        Severity::Error
+    );
+}
+
+#[test]
+fn stock_guarded_kernel_emits_the_pv002_note() {
+    let (name, source) = read_fixture("kernels/guarded.pvk");
+    let report = analyze::lint_source(&name, &source, &AnalyzeOptions::default());
+    assert!(!report.has_errors());
+    let d = report.with_code(Code::DeadlockRisk);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].severity, Severity::Note);
+}
+
+#[test]
+fn all_stock_kernels_lint_clean_of_errors() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("kernels");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("kernels dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pvk") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("readable");
+        let name = path.file_stem().and_then(|s| s.to_str()).expect("stem");
+        let report = analyze::lint_source(name, &source, &AnalyzeOptions::default());
+        assert!(
+            !report.has_errors(),
+            "{name} must lint clean of errors:\n{}",
+            report.render(name, Some(&source))
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the five stock kernels, saw {checked}");
+}
+
+#[test]
+fn every_fixture_diagnostic_is_emittable_as_json() {
+    for rel in [
+        "kernels/bad/oob.pvk",
+        "kernels/bad/undeclared.pvk",
+        "kernels/bad/guarded_nofake.pvk",
+        "kernels/guarded.pvk",
+        "kernels/fig2a.pvk",
+    ] {
+        let (name, source) = read_fixture(rel);
+        let report = analyze::lint_source(
+            &name,
+            &source,
+            &AnalyzeOptions {
+                fake_tokens: false,
+                ..AnalyzeOptions::default()
+            },
+        );
+        let json = report.to_json(Some(&source));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for d in &report.diagnostics {
+            let dj = d.to_json(Some(&source));
+            assert!(
+                json.contains(&dj),
+                "report JSON embeds every diagnostic's JSON"
+            );
+            assert!(dj.contains(&format!("\"code\":\"{}\"", d.code)));
+            assert!(dj.contains(&format!("\"severity\":\"{}\"", d.severity)));
+        }
+    }
+}
+
+/// Acceptance: fig2a's three affine `b` pairs are provably disjoint, the
+/// arbiter is bypassed for them at synthesis, and the bypassed circuit
+/// still matches the golden interpreter (with the runtime-dependent `a`
+/// pair still validated).
+#[test]
+fn fig2a_simulates_with_bypassed_arbiter_and_matches_golden() {
+    let (name, source) = read_fixture("kernels/fig2a.pvk");
+    let spec = parse_kernel(&name, &source).expect("parses");
+
+    let bypassing = prevv::ir::synthesize(&spec).expect("synthesizes");
+    assert_eq!(bypassing.bypassed.len(), 3, "three affine b-pairs bypassed");
+    assert_eq!(
+        bypassing.interface.pairs.len(),
+        bypassing.deps.pairs.len() - 3,
+        "the validated set shrinks by the bypassed pairs"
+    );
+
+    let run = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv16())).expect("runs");
+    assert!(run.matches_golden, "bypassed arbiter still matches golden");
+
+    // The conservative circuit (bypass disabled) agrees, so the bypass is
+    // an optimization, not a behavior change.
+    let conservative = run_kernel_with(
+        &spec,
+        Controller::Prevv(PrevvConfig::prevv16()),
+        &SynthOptions {
+            bypass_safe_pairs: false,
+            ..SynthOptions::default()
+        },
+        &SimConfig::default(),
+    )
+    .expect("runs");
+    assert!(conservative.matches_golden);
+    assert_eq!(run.arrays, conservative.arrays);
+}
