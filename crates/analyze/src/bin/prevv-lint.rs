@@ -2,15 +2,32 @@
 //!
 //! ```text
 //! prevv-lint [--format text|json] [--depth N] [--no-fake-tokens]
-//!            [--no-pair-reduction] <file.pvk>...
+//!            [--no-pair-reduction] [--circuit]
+//!            [--controller none|direct|prevv] [--deny-warnings]
+//!            <file.pvk>...
 //! ```
 //!
-//! Parses each file, runs every `prevv-analyze` lint, and renders the
-//! findings rustc-style (default) or as one JSON object per file (one per
-//! line). Parse failures are reported as `PV000`. The exit status is
-//! nonzero iff any file produced an error-severity diagnostic.
+//! Parses each file and runs every kernel-level `prevv-analyze` lint
+//! (`PV0xx`); with `--circuit` it additionally synthesizes the elastic
+//! netlist and runs the circuit-level lints (`PV1xx`) against the
+//! controller model chosen by `--controller` (`prevv`, the default, models
+//! a premature queue of `--depth` slots; `direct` a combinational memory;
+//! `none` leaves the memory ports open). Findings render rustc-style
+//! (default) or as one JSON document for the whole run:
+//!
+//! ```json
+//! {"files":[{"file":"...","report":{...}}, ...],
+//!  "summary":{"errors":N,"warnings":N}}
+//! ```
+//!
+//! Parse failures are reported as `PV000`. The exit status is nonzero iff
+//! any file produced an error-severity diagnostic — or, under
+//! `--deny-warnings`, any warning.
 
-use prevv_analyze::{lint_source, AnalyzeOptions};
+use prevv_analyze::{
+    lint_source, lint_source_with_circuit, AnalyzeOptions, CircuitOptions, ControllerModel,
+    Severity,
+};
 
 enum Format {
     Text,
@@ -21,12 +38,15 @@ struct Args {
     files: Vec<String>,
     format: Format,
     opts: AnalyzeOptions,
+    circuit: Option<CircuitOptions>,
+    deny_warnings: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: prevv-lint [--format text|json] [--depth N] [--no-fake-tokens] \
-         [--no-pair-reduction] <file.pvk>..."
+         [--no-pair-reduction] [--circuit] [--controller none|direct|prevv] \
+         [--deny-warnings] <file.pvk>..."
     );
     std::process::exit(2);
 }
@@ -35,6 +55,9 @@ fn parse_args() -> Args {
     let mut files = Vec::new();
     let mut format = Format::Text;
     let mut opts = AnalyzeOptions::default();
+    let mut want_circuit = false;
+    let mut controller = None;
+    let mut deny_warnings = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -53,6 +76,17 @@ fn parse_args() -> Args {
             }
             "--no-fake-tokens" => opts.fake_tokens = false,
             "--no-pair-reduction" => opts.pair_reduction = false,
+            "--circuit" => want_circuit = true,
+            "--controller" => {
+                controller = match it.next().as_deref() {
+                    Some("none") => Some(ControllerModel::None),
+                    Some("direct") => Some(ControllerModel::Direct),
+                    Some("prevv") => None, // queue of --depth, resolved below
+                    _ => usage(),
+                };
+                want_circuit = true;
+            }
+            "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => files.push(f.to_string()),
             _ => usage(),
@@ -61,16 +95,25 @@ fn parse_args() -> Args {
     if files.is_empty() {
         usage();
     }
+    let circuit = want_circuit.then(|| CircuitOptions {
+        controller: controller.unwrap_or(ControllerModel::Queue {
+            capacity: opts.depth,
+        }),
+    });
     Args {
         files,
         format,
         opts,
+        circuit,
+        deny_warnings,
     }
 }
 
 fn main() {
     let args = parse_args();
-    let mut any_errors = false;
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut json_files = Vec::new();
     for path in &args.files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -83,8 +126,12 @@ fn main() {
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("kernel");
-        let report = lint_source(name, &source, &args.opts);
-        any_errors |= report.has_errors();
+        let report = match &args.circuit {
+            Some(circuit) => lint_source_with_circuit(name, &source, &args.opts, circuit),
+            None => lint_source(name, &source, &args.opts),
+        };
+        total_errors += report.count(Severity::Error);
+        total_warnings += report.count(Severity::Warning);
         match args.format {
             Format::Text => {
                 if report.is_empty() {
@@ -94,15 +141,21 @@ fn main() {
                 }
             }
             Format::Json => {
-                println!(
+                json_files.push(format!(
                     "{{\"file\":{},\"report\":{}}}",
                     prevv_analyze::diag::json_string(path),
                     report.to_json(Some(&source))
-                );
+                ));
             }
         }
     }
-    if any_errors {
+    if matches!(args.format, Format::Json) {
+        println!(
+            "{{\"files\":[{}],\"summary\":{{\"errors\":{total_errors},\"warnings\":{total_warnings}}}}}",
+            json_files.join(",")
+        );
+    }
+    if total_errors > 0 || (args.deny_warnings && total_warnings > 0) {
         std::process::exit(1);
     }
 }

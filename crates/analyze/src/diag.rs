@@ -28,10 +28,23 @@ pub enum Code {
     DeadStore,
     /// `PV006` — pair reduction (paper §V-B) would help but is disabled.
     PairReduction,
+    /// `PV101` — a channel with no producer or no consumer (dangling wire).
+    DanglingChannel,
+    /// `PV102` — a channel driven by more than one producer (or consumed by
+    /// more than one component), which corrupts the handshake.
+    MultiDrivenChannel,
+    /// `PV103` — a handshake cycle with no elastic buffer on it: the
+    /// structural-deadlock analogue of a combinational loop.
+    UnbufferedCycle,
+    /// `PV104` — premature-queue/arbiter capacity inconsistent with the
+    /// circuit's maximum in-flight iteration frontier.
+    FrontierCapacity,
+    /// `PV105` — a component unreachable from any token source.
+    UnreachableComponent,
 }
 
 impl Code {
-    /// The stable `PV0xx` string of this code.
+    /// The stable `PVxxx` string of this code.
     pub fn as_str(self) -> &'static str {
         match self {
             Code::Parse => "PV000",
@@ -41,6 +54,11 @@ impl Code {
             Code::DisjointPair => "PV004",
             Code::DeadStore => "PV005",
             Code::PairReduction => "PV006",
+            Code::DanglingChannel => "PV101",
+            Code::MultiDrivenChannel => "PV102",
+            Code::UnbufferedCycle => "PV103",
+            Code::FrontierCapacity => "PV104",
+            Code::UnreachableComponent => "PV105",
         }
     }
 }
@@ -274,6 +292,11 @@ mod tests {
         assert_eq!(Code::DisjointPair.as_str(), "PV004");
         assert_eq!(Code::DeadStore.as_str(), "PV005");
         assert_eq!(Code::PairReduction.as_str(), "PV006");
+        assert_eq!(Code::DanglingChannel.as_str(), "PV101");
+        assert_eq!(Code::MultiDrivenChannel.as_str(), "PV102");
+        assert_eq!(Code::UnbufferedCycle.as_str(), "PV103");
+        assert_eq!(Code::FrontierCapacity.as_str(), "PV104");
+        assert_eq!(Code::UnreachableComponent.as_str(), "PV105");
     }
 
     #[test]

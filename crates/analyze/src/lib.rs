@@ -14,9 +14,23 @@
 //! | PV004 | note     | provably-disjoint pair — arbiter bypassed |
 //! | PV005 | warning  | dead store or unused array |
 //! | PV006 | note     | pair reduction (§V-B) profitable but disabled |
+//! | PV101 | error    | circuit: channel with no producer or no consumer |
+//! | PV102 | error    | circuit: channel with multiple producers or consumers |
+//! | PV103 | error    | circuit: handshake cycle with no elastic buffer (structural deadlock) |
+//! | PV104 | error/warn | circuit: controller capacity inconsistent with the in-flight iteration frontier |
+//! | PV105 | warning  | circuit: component unreachable from any token source |
+//!
+//! The `PV0xx` lints run on the kernel; the `PV1xx` lints ([`circuit`])
+//! run on the synthesized netlist via the channel-graph introspection API
+//! of `prevv-dataflow`. The affine machinery behind PV001/PV004 is the
+//! symbolic dependence engine re-exported as [`symdep`] (GCD and Banerjee
+//! tests), which lets both lint families scale past enumerable iteration
+//! spaces.
 //!
 //! [`synthesize`] is the checked front door: it runs the analyzer and
 //! refuses kernels with any error-severity finding, attaching the report.
+//! It then runs the circuit lints on the synthesized netlist and refuses
+//! error-severity circuit findings too.
 //!
 //! ```
 //! use prevv_analyze::{analyze, AnalyzeOptions, Code};
@@ -38,9 +52,12 @@ use prevv_core::PrevvConfig;
 use prevv_ir::depend;
 use prevv_ir::{KernelError, KernelSpec, SynthOptions, SynthesizedKernel};
 
+pub mod circuit;
 pub mod diag;
 mod lints;
+pub mod symdep;
 
+pub use circuit::{lint_circuit, lint_netlist, CircuitOptions, ControllerModel};
 pub use diag::{Code, Diagnostic, Report, Severity};
 
 /// Configuration the analyzer checks the kernel against. Mirrors the knobs
@@ -56,6 +73,10 @@ pub struct AnalyzeOptions {
     /// Whether the controller applies the §V-B pair reduction; when false,
     /// PV006 reports the missed opportunity.
     pub pair_reduction: bool,
+    /// Controller model for the PV1xx circuit lints in checked synthesis.
+    /// `None` derives [`ControllerModel::Queue`] from [`Self::depth`] — the
+    /// premature queue the kernel will actually run against.
+    pub circuit_controller: Option<ControllerModel>,
 }
 
 impl Default for AnalyzeOptions {
@@ -65,6 +86,7 @@ impl Default for AnalyzeOptions {
             fake_tokens: SynthOptions::default().fake_tokens,
             depth: cfg.depth,
             pair_reduction: cfg.pair_reduction,
+            circuit_controller: None,
         }
     }
 }
@@ -100,6 +122,43 @@ pub fn analyze(spec: &KernelSpec, opts: &AnalyzeOptions) -> Report {
 pub fn lint_source(name: &str, source: &str, opts: &AnalyzeOptions) -> Report {
     match prevv_ir::parse::parse_kernel(name, source) {
         Ok(spec) => analyze(&spec, opts),
+        Err(e) => {
+            let mut r = Report::default();
+            r.push(
+                Diagnostic::error(Code::Parse, e.message.clone())
+                    .with_span(Some(prevv_ir::Span::point(e.at))),
+            );
+            r
+        }
+    }
+}
+
+/// Lints kernel source text including the PV1xx circuit lints: parses the
+/// source, runs [`analyze`], then synthesizes the netlist (unchecked — the
+/// point is to report, not refuse) and appends the [`lint_circuit`]
+/// findings. Kernels that fail to parse report `PV000`; kernels that fail
+/// structural synthesis keep their kernel-level findings only. This is what
+/// `prevv-lint --circuit` runs per file.
+pub fn lint_source_with_circuit(
+    name: &str,
+    source: &str,
+    opts: &AnalyzeOptions,
+    circuit: &CircuitOptions,
+) -> Report {
+    match prevv_ir::parse::parse_kernel(name, source) {
+        Ok(spec) => {
+            let mut report = analyze(&spec, opts);
+            let synth_opts = SynthOptions {
+                fake_tokens: opts.fake_tokens,
+                ..SynthOptions::default()
+            };
+            if let Ok(synth) = prevv_ir::synthesize_with(&spec, &synth_opts) {
+                report
+                    .diagnostics
+                    .extend(lint_circuit(&synth, circuit).diagnostics);
+            }
+            report
+        }
         Err(e) => {
             let mut r = Report::default();
             r.push(
@@ -162,11 +221,21 @@ pub fn synthesize_with(
     analyze_opts: &AnalyzeOptions,
 ) -> Result<(SynthesizedKernel, Report), AnalyzeError> {
     spec.validate()?;
-    let report = analyze(spec, analyze_opts);
+    let mut report = analyze(spec, analyze_opts);
     if report.has_errors() {
         return Err(AnalyzeError::Rejected(report));
     }
     let synth = prevv_ir::synthesize_with(spec, synth_opts)?;
+    let controller = analyze_opts
+        .circuit_controller
+        .unwrap_or(ControllerModel::Queue {
+            capacity: analyze_opts.depth,
+        });
+    let circuit_report = lint_circuit(&synth, &CircuitOptions { controller });
+    report.diagnostics.extend(circuit_report.diagnostics);
+    if report.has_errors() {
+        return Err(AnalyzeError::Rejected(report));
+    }
     Ok((synth, report))
 }
 

@@ -5,7 +5,8 @@ use std::collections::{BTreeMap, HashMap};
 
 use prevv_core::sizing::{expr_latency, recommend_depth, PairTiming};
 use prevv_dataflow::Value;
-use prevv_ir::depend::{pair_distances, refine_pairs, Dependences, StaticMemOp};
+use prevv_ir::depend::{pair_distances, refine_pairs, Dependences, StaticMemOp, ENUM_LIMIT};
+use prevv_ir::symdep::{rect_bounds, AffineForm};
 use prevv_ir::{Expr, KernelSpec, MemOpKind, Span};
 
 use crate::diag::{Code, Diagnostic, Report};
@@ -54,11 +55,19 @@ fn array_name(spec: &KernelSpec, id: prevv_ir::ArrayId) -> &str {
     &spec.arrays[id.0].name
 }
 
-/// PV001 — out-of-bounds affine access. Enumerates every affine index over
-/// the (guard-filtered) iteration space and compares against the declared
-/// array length. A hit is a hard error: the runtime wraps indices modulo the
-/// length, so the circuit "works", but it silently touches the wrong cell.
+/// PV001 — out-of-bounds affine access. Below [`ENUM_LIMIT`] iterations,
+/// enumerates every affine index over the (guard-filtered) iteration space
+/// and compares against the declared array length. Above it, the symbolic
+/// fast path bounds each unguarded affine index over the rectangular domain
+/// via [`AffineForm::range`] — exact, since an affine form attains its
+/// extrema at domain corners. A hit is a hard error: the runtime wraps
+/// indices modulo the length, so the circuit "works", but it silently
+/// touches the wrong cell.
 pub(crate) fn check_bounds(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
+    if spec.iteration_count() > ENUM_LIMIT {
+        check_bounds_symbolic(spec, deps, report);
+        return;
+    }
     let space = spec.iteration_space();
     let spans = op_spans(spec, &deps.ops);
     for op in &deps.ops {
@@ -85,6 +94,50 @@ pub(crate) fn check_bounds(spec: &KernelSpec, deps: &Dependences, report: &mut R
                     format!(
                         "{kind} index {raw} is out of bounds for `{name}` of length {len} \
                          (first at iteration {row:?})"
+                    ),
+                )
+                .with_span(spans[op.id])
+                .with_help(format!(
+                    "the runtime wraps indices modulo the array length, silently aliasing \
+                     `{name}[{}]`; fix the index or enlarge the array",
+                    raw.rem_euclid(len)
+                )),
+            );
+        }
+    }
+}
+
+/// Symbolic arm of PV001 for iteration spaces too large to enumerate.
+/// Guarded ops are skipped (the reachable index range depends on the guard,
+/// which only enumeration can filter), as are triangular nests — both stay
+/// conservatively silent rather than risk a false positive.
+fn check_bounds_symbolic(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
+    let Some(bounds) = rect_bounds(&spec.levels) else {
+        return;
+    };
+    let spans = op_spans(spec, &deps.ops);
+    for op in &deps.ops {
+        if op.index.is_runtime_dependent() || spec.body[op.stmt].guard.is_some() {
+            continue;
+        }
+        let Some(form) = AffineForm::from_expr(&op.index, spec.levels.len()) else {
+            continue;
+        };
+        let len = spec.arrays[op.array.0].len as Value;
+        let (lo, hi) = form.range(&bounds);
+        if lo < 0 || hi >= len {
+            let raw = if lo < 0 { lo } else { hi };
+            let kind = match op.kind {
+                MemOpKind::Load => "load",
+                MemOpKind::Store => "store",
+            };
+            let name = array_name(spec, op.array);
+            report.push(
+                Diagnostic::error(
+                    Code::OutOfBounds,
+                    format!(
+                        "{kind} index ranges over [{lo}, {hi}], out of bounds for `{name}` \
+                         of length {len} (reaches {raw})"
                     ),
                 )
                 .with_span(spans[op.id])
@@ -253,7 +306,10 @@ pub(crate) fn check_disjoint(spec: &KernelSpec, deps: &Dependences, report: &mut
 /// order over the iteration space (guards evaluated, so this is precise);
 /// arrays with any runtime-dependent access are skipped conservatively.
 /// A store is dead when none of its dynamic instances is read afterwards
-/// nor survives to the final array contents (the kernel's output).
+/// nor survives to the final array contents (the kernel's output). The
+/// replay is skipped (only the unused-array check runs) above
+/// [`ENUM_LIMIT`] iterations — liveness is inherently path-sensitive and
+/// has no symbolic shortcut.
 pub(crate) fn check_dead_stores(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
     let spans = op_spans(spec, &deps.ops);
 
@@ -264,6 +320,10 @@ pub(crate) fn check_dead_stores(spec: &KernelSpec, deps: &Dependences, report: &
                 format!("array `{}` is declared but never accessed", decl.name),
             ));
         }
+    }
+
+    if spec.iteration_count() > ENUM_LIMIT {
+        return;
     }
 
     // Arrays whose every access is affine can be replayed exactly.

@@ -1,0 +1,21 @@
+//! Symbolic dependence engine — GCD and Banerjee-bounds tests over affine
+//! index expressions.
+//!
+//! The engine itself lives in `prevv_ir::symdep` so that the dependence
+//! pass ([`prevv_ir::depend`]) can use it as its fast path without a
+//! dependency cycle (this crate depends on `prevv-ir`, not vice versa);
+//! this module re-exports it under the analyzer's namespace because it is
+//! analyzer machinery: PV001 uses [`AffineForm::range`] to bound indices
+//! over unenumerable iteration spaces, and PV004's bypass notes are backed
+//! by [`classify_accesses`] verdicts.
+//!
+//! The contract is one-sided: a [`PairClass::Disjoint`] or
+//! [`PairClass::SameIterationOnly`] verdict is a *proof*, while
+//! [`PairClass::Unknown`] merely means "not proved" — the caller falls back
+//! to brute-force enumeration (below [`prevv_ir::depend::ENUM_LIMIT`]) or
+//! stays conservative. The property tests in `tests/analyzer_properties.rs`
+//! hold the engine to exactly this contract against the enumerating oracle.
+
+pub use prevv_ir::symdep::{
+    classify_accesses, classify_pair, rect_bounds, AffineForm, PairClass,
+};

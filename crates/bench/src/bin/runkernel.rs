@@ -111,6 +111,24 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    // Circuit-level lints (PV1xx) on the synthesized netlist, modeling the
+    // controller that is about to be attached. Errors are structural
+    // deadlocks or wiring faults: refuse before simulating.
+    let circuit_lint = prevv::analyze::lint_circuit(
+        &synth,
+        &prevv::CircuitOptions {
+            controller: args.controller.circuit_model(),
+        },
+    );
+    if !circuit_lint.is_empty() {
+        println!("{}", circuit_lint.render(&args.path, Some(&source)));
+    }
+    if circuit_lint.has_errors() {
+        eprintln!("refusing to attach controller: circuit lints reported errors");
+        std::process::exit(1);
+    }
+
     let deps = &synth.deps;
     println!(
         "{} memory ops/iteration, {} ambiguous pair(s) ({} bypassed), {} iterations\n",

@@ -751,4 +751,8 @@ impl Component for PrevvMemory {
     fn occupancy(&self) -> usize {
         self.io.occupancy() + self.queue.len() + self.reads.len()
     }
+
+    fn capacity(&self) -> usize {
+        self.config.depth
+    }
 }

@@ -69,6 +69,18 @@ pub trait Component {
     fn occupancy(&self) -> usize {
         0
     }
+
+    /// Maximum number of tokens this component can hold across cycles — its
+    /// elastic storage. A positive capacity means the component registers
+    /// its handshake (output `valid` and input `ready` come from state, not
+    /// wires), so it breaks any combinational/handshake cycle it sits on.
+    /// Purely combinational elements report 0.
+    ///
+    /// Static analysis uses this to prove a netlist free of unbuffered
+    /// feedback loops (the PV103 circuit lint).
+    fn capacity(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

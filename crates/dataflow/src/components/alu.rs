@@ -186,6 +186,11 @@ impl Pipeline {
         *self.stages.last().expect("latency >= 1")
     }
 
+    /// Number of pipeline slots (the configured latency).
+    fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
     /// Will the register shift this cycle, given whether the head drains?
     fn will_shift(&self, head_drains: bool) -> bool {
         self.head().is_none() || head_drains
@@ -319,6 +324,10 @@ impl Component for BinaryAlu {
     fn occupancy(&self) -> usize {
         self.pipe.occupancy()
     }
+
+    fn capacity(&self) -> usize {
+        self.pipe.depth()
+    }
 }
 
 /// A pipelined one-operand functional unit.
@@ -388,6 +397,10 @@ impl Component for UnaryAlu {
 
     fn occupancy(&self) -> usize {
         self.pipe.occupancy()
+    }
+
+    fn capacity(&self) -> usize {
+        self.pipe.depth()
     }
 }
 

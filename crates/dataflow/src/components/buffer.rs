@@ -89,6 +89,10 @@ impl Component for Buffer {
     fn occupancy(&self) -> usize {
         self.fifo.len()
     }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 #[cfg(test)]

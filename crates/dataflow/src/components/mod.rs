@@ -20,4 +20,4 @@ pub use alu::{BinOp, BinaryAlu, UnOp, UnaryAlu};
 pub use basic::{Branch, Constant, Fork, Join, Merge, Mux, Sink};
 pub use buffer::Buffer;
 pub use routing::{ControlMerge, Demux};
-pub use source::{iteration_space, Bound, IterSource, LoopLevel};
+pub use source::{count_iterations, iteration_space, Bound, IterSource, LoopLevel};

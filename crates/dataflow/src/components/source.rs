@@ -222,6 +222,44 @@ pub fn iteration_space(levels: &[LoopLevel]) -> Vec<Vec<Value>> {
     rows
 }
 
+/// Counts the iterations of a loop nest without materializing the rows.
+///
+/// For a rectangular nest (all bounds [`Bound::Const`]) this is a product of
+/// extents and runs in O(levels), so static analyses can size 10^6+-iteration
+/// spaces cheaply; triangular nests fall back to a recursive count that still
+/// avoids allocating one `Vec` per iteration.
+pub fn count_iterations(levels: &[LoopLevel]) -> usize {
+    let rectangular = levels
+        .iter()
+        .all(|l| matches!((l.lo, l.hi), (Bound::Const(_), Bound::Const(_))));
+    if rectangular {
+        return levels
+            .iter()
+            .map(|l| {
+                let (lo, hi) = (l.lo.resolve(&[]), l.hi.resolve(&[]));
+                (hi - lo).max(0) as usize
+            })
+            .product();
+    }
+    fn recurse(levels: &[LoopLevel], depth: usize, current: &mut Vec<Value>) -> usize {
+        if depth == levels.len() {
+            return 1;
+        }
+        let lo = levels[depth].lo.resolve(current);
+        let hi = levels[depth].hi.resolve(current);
+        let mut total = 0;
+        let mut v = lo;
+        while v < hi {
+            current.push(v);
+            total += recurse(levels, depth + 1, current);
+            current.pop();
+            v += 1;
+        }
+        total
+    }
+    recurse(levels, 0, &mut Vec::with_capacity(levels.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +377,28 @@ mod tests {
         assert_eq!(space.len(), 12);
         assert_eq!(space[0], vec![0, 0, 0]);
         assert_eq!(space[11], vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn count_matches_materialized_space() {
+        let nests: &[&[LoopLevel]] = &[
+            &[LoopLevel::upto(4)],
+            &[LoopLevel::upto(2), LoopLevel::upto(3), LoopLevel::upto(2)],
+            &[
+                LoopLevel::upto(4),
+                LoopLevel::new(Bound::OuterPlus(0, 1), Bound::Const(4)),
+            ],
+            &[LoopLevel::upto(0), LoopLevel::upto(5)],
+        ];
+        for nest in nests {
+            assert_eq!(count_iterations(nest), iteration_space(nest).len());
+        }
+    }
+
+    #[test]
+    fn count_handles_huge_rectangular_spaces() {
+        let nest = [LoopLevel::upto(1_000), LoopLevel::upto(1_000), LoopLevel::upto(1_000)];
+        assert_eq!(count_iterations(&nest), 1_000_000_000);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod viz;
 pub use component::{Component, Ports};
 pub use engine::{SimConfig, Simulator};
 pub use error::{NetlistError, SimError};
-pub use netlist::{Netlist, NodeId};
+pub use netlist::{ChannelEndpoints, Netlist, NodeId};
 pub use signal::{ChannelId, Signals};
 pub use squash::SquashBus;
 pub use stats::SimReport;

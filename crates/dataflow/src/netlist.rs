@@ -21,6 +21,22 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// Per-channel endpoint lists, indexed by [`ChannelId`] — the adjacency
+/// view a static analyzer needs to treat the netlist as a directed graph
+/// (producer node → channel → consumer node).
+///
+/// Built by [`Netlist::channel_endpoints`]. A well-formed circuit has
+/// exactly one producer and one consumer per channel; the lists expose the
+/// malformed cases (empty or multiple) so diagnostics can name every
+/// offending node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelEndpoints {
+    /// `producers[ch.index()]` = nodes listing `ch` among their outputs.
+    pub producers: Vec<Vec<NodeId>>,
+    /// `consumers[ch.index()]` = nodes listing `ch` among their inputs.
+    pub consumers: Vec<Vec<NodeId>>,
+}
+
 /// A dataflow circuit: components plus the point-to-point channels that
 /// connect them.
 ///
@@ -114,39 +130,72 @@ impl Netlist {
         &self.components
     }
 
+    /// Per-channel endpoint map: which nodes drive and which nodes consume
+    /// every allocated channel.
+    ///
+    /// This is the graph-introspection primitive the static circuit
+    /// verifier (the PV1xx lints) builds its directed channel graph from; it
+    /// is also the single source of truth behind [`Netlist::validate`].
+    pub fn channel_endpoints(&self) -> ChannelEndpoints {
+        let n = self.channels as usize;
+        let mut producers = vec![Vec::new(); n];
+        let mut consumers = vec![Vec::new(); n];
+        for (i, c) in self.components.iter().enumerate() {
+            let node = NodeId(i as u32);
+            let ports = c.ports();
+            for ch in ports.outputs {
+                producers[ch.index()].push(node);
+            }
+            for ch in ports.inputs {
+                consumers[ch.index()].push(node);
+            }
+        }
+        ChannelEndpoints {
+            producers,
+            consumers,
+        }
+    }
+
+    /// All structural connectivity errors, in channel-id order (producer
+    /// problems reported before consumer problems for the same channel).
+    ///
+    /// An empty vector means every channel has exactly one producer and one
+    /// consumer.
+    pub fn structural_errors(&self) -> Vec<NetlistError> {
+        let ends = self.channel_endpoints();
+        let mut errors = Vec::new();
+        for i in 0..self.channels as usize {
+            let ch = ChannelId(i as u32);
+            match ends.producers[i].len() {
+                0 => errors.push(NetlistError::MissingProducer(ch)),
+                1 => {}
+                _ => errors.push(NetlistError::DuplicateProducer(ch)),
+            }
+            match ends.consumers[i].len() {
+                0 => errors.push(NetlistError::MissingConsumer(ch)),
+                1 => {}
+                _ => errors.push(NetlistError::DuplicateConsumer(ch)),
+            }
+        }
+        errors
+    }
+
     /// Checks that every channel has exactly one producer and one consumer.
+    ///
+    /// Delegates to [`Netlist::structural_errors`] — the same walk the PV101
+    /// (dangling channel) and PV102 (multi-driven channel) circuit lints
+    /// report through — so there is one source of truth for structural
+    /// connectivity.
     ///
     /// # Errors
     ///
     /// Returns the first [`NetlistError`] found: a dangling or multiply
     /// driven channel.
     pub fn validate(&self) -> Result<(), NetlistError> {
-        let n = self.channels as usize;
-        let mut producers = vec![0u8; n];
-        let mut consumers = vec![0u8; n];
-        for c in &self.components {
-            let ports = c.ports();
-            for ch in ports.outputs {
-                producers[ch.index()] = producers[ch.index()].saturating_add(1);
-            }
-            for ch in ports.inputs {
-                consumers[ch.index()] = consumers[ch.index()].saturating_add(1);
-            }
+        match self.structural_errors().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        for i in 0..n {
-            let ch = ChannelId(i as u32);
-            match producers[i] {
-                0 => return Err(NetlistError::MissingProducer(ch)),
-                1 => {}
-                _ => return Err(NetlistError::DuplicateProducer(ch)),
-            }
-            match consumers[i] {
-                0 => return Err(NetlistError::MissingConsumer(ch)),
-                1 => {}
-                _ => return Err(NetlistError::DuplicateConsumer(ch)),
-            }
-        }
-        Ok(())
     }
 
     /// Total occupancy across all components (tokens held anywhere).
@@ -211,6 +260,38 @@ mod tests {
         net.add("sink1", Sink::new(vec![b]));
         net.add("sink2", Sink::new(vec![b]));
         assert_eq!(net.validate(), Err(NetlistError::MissingProducer(a)));
+    }
+
+    #[test]
+    fn structural_errors_reports_all_in_channel_order() {
+        let mut net = Netlist::new();
+        let a = net.channel();
+        let b = net.channel();
+        net.add("c", Constant::new(3, a, b));
+        net.add("sink1", Sink::new(vec![b]));
+        net.add("sink2", Sink::new(vec![b]));
+        assert_eq!(
+            net.structural_errors(),
+            vec![
+                NetlistError::MissingProducer(a),
+                NetlistError::DuplicateConsumer(b),
+            ]
+        );
+    }
+
+    #[test]
+    fn channel_endpoints_names_every_node() {
+        let mut net = Netlist::new();
+        let a = net.channel();
+        let b = net.channel();
+        let k = net.add("c", Constant::new(3, a, b));
+        let s1 = net.add("sink1", Sink::new(vec![b]));
+        let s2 = net.add("sink2", Sink::new(vec![b]));
+        let ends = net.channel_endpoints();
+        assert!(ends.producers[a.index()].is_empty());
+        assert_eq!(ends.consumers[a.index()], vec![k]);
+        assert_eq!(ends.producers[b.index()], vec![k]);
+        assert_eq!(ends.consumers[b.index()], vec![s1, s2]);
     }
 
     #[test]

@@ -15,6 +15,14 @@ use prevv_dataflow::Value;
 use crate::expr::{ArrayId, Expr};
 use crate::golden::MemOpKind;
 use crate::kernel::KernelSpec;
+use crate::symdep::{self, PairClass};
+
+/// Largest iteration-space size the exact (enumerating) analyses run on.
+///
+/// Below this, address sets and collision distances are enumerated exactly,
+/// as in PR 1. Above it, only the symbolic tests in [`crate::symdep`] apply;
+/// whatever they cannot prove stays conservatively ambiguous/validated.
+pub const ENUM_LIMIT: usize = 4096;
 
 /// A static memory operation slot: one load or store site in the kernel
 /// body. Each executes at most once per iteration (guards can suppress it).
@@ -124,19 +132,24 @@ pub fn enumerate_ops(spec: &KernelSpec) -> Vec<StaticMemOp> {
 /// Runs the dependence analysis.
 ///
 /// Two accesses of the same array form an ambiguous pair when their address
-/// sets can intersect. For affine indices the address sets are enumerated
-/// exactly; an index that reads memory or applies an opaque function makes
+/// sets can intersect. The symbolic GCD/Banerjee tests ([`crate::symdep`])
+/// run first and can discharge a pair as disjoint on any space size; for
+/// spaces up to [`ENUM_LIMIT`] the address sets of the remaining affine
+/// pairs are then enumerated exactly, beyond it they stay conservatively
+/// ambiguous. An index that reads memory or applies an opaque function makes
 /// the pair ambiguous unconditionally (its addresses are unknowable before
 /// runtime). This matches Dynamatic's policy of routing every potentially
 /// dependent access through the LSQ.
 pub fn analyze(spec: &KernelSpec) -> Dependences {
     let ops = enumerate_ops(spec);
-    let space = spec.iteration_space();
-    // Precompute each op's address set (None = runtime-dependent).
+    let small = spec.iteration_count() <= ENUM_LIMIT;
+    let space = if small { spec.iteration_space() } else { Vec::new() };
+    // Precompute each op's address set (None = runtime-dependent or the
+    // space is too large to enumerate).
     let addr_sets: Vec<Option<HashSet<usize>>> = ops
         .iter()
         .map(|op| {
-            if op.index.is_runtime_dependent() {
+            if !small || op.index.is_runtime_dependent() {
                 None
             } else {
                 Some(
@@ -156,6 +169,14 @@ pub fn analyze(spec: &KernelSpec) -> Dependences {
         }
         for s in &ops {
             if s.kind != MemOpKind::Store || s.array != l.array {
+                continue;
+            }
+            let affine = !l.index.is_runtime_dependent() && !s.index.is_runtime_dependent();
+            if affine
+                && symdep::classify_accesses(spec, &l.index, &s.index, l.array)
+                    == PairClass::Disjoint
+            {
+                // Symbolic fast path: proved never to touch the same cell.
                 continue;
             }
             let conflict = match (&addr_sets[l.id], &addr_sets[s.id]) {
@@ -179,19 +200,63 @@ pub struct PairDistance {
     /// The pair.
     pub pair: AmbiguousPair,
     /// Minimum `|iter(load) − iter(store)|` at which the pair's addresses
-    /// collide — exact (by enumeration) for affine pairs, `None` when an
-    /// index is runtime-dependent and the distance is unknowable statically.
-    /// Distance 0 means a same-iteration (ROM-ordered) conflict exists.
+    /// collide outside same-iteration program-order protection. `None` means
+    /// no such collision exists (proved by enumeration or symbolically), or
+    /// that the distance is unknowable statically (runtime-dependent index,
+    /// or a space past [`ENUM_LIMIT`] with no symbolic proof). Distance 0
+    /// means a same-iteration (ROM-ordered) conflict exists.
     pub min_distance: Option<u64>,
+}
+
+/// Minimum unprotected collision distance of one affine pair, by exact
+/// enumeration over the materialized space.
+fn enumerated_min_distance(
+    spec: &KernelSpec,
+    load: &StaticMemOp,
+    store: &StaticMemOp,
+    space: &[Vec<Value>],
+) -> Option<u64> {
+    let laddrs: Vec<usize> = space
+        .iter()
+        .map(|row| spec.resolve_index(load.array, eval_affine(&load.index, row)))
+        .collect();
+    let saddrs: Vec<usize> = space
+        .iter()
+        .map(|row| spec.resolve_index(store.array, eval_affine(&store.index, row)))
+        .collect();
+    let mut best: Option<u64> = None;
+    for (i1, &la) in laddrs.iter().enumerate() {
+        for (i2, &sa) in saddrs.iter().enumerate() {
+            if la != sa {
+                continue;
+            }
+            if i1 == i2 && load.seq < store.seq {
+                // The load precedes the store in the same iteration:
+                // program order already protects it.
+                continue;
+            }
+            let d = i1.abs_diff(i2) as u64;
+            best = Some(best.map_or(d, |b| b.min(d)));
+            if best == Some(0) {
+                break;
+            }
+        }
+    }
+    best
 }
 
 /// Computes the minimum conflict distance of every ambiguous pair.
 ///
 /// Short distances are what make premature execution race (the producer
 /// store has not even arrived when the consumer load issues); the sizing
-/// model and the dependence predictor both care about this profile.
+/// model and the dependence predictor both care about this profile. The
+/// symbolic tests serve as a fast path where their verdict is exact (a
+/// disjoint proof, or a same-iteration-only proof on a program-order
+/// protected pair, both meaning "no unprotected collision"); enumeration
+/// covers the rest up to [`ENUM_LIMIT`] iterations.
 pub fn pair_distances(spec: &KernelSpec, deps: &Dependences) -> Vec<PairDistance> {
-    let space = spec.iteration_space();
+    let small = spec.iteration_count() <= ENUM_LIMIT;
+    let space = if small { spec.iteration_space() } else { Vec::new() };
     deps.pairs
         .iter()
         .map(|&pair| {
@@ -203,36 +268,32 @@ pub fn pair_distances(spec: &KernelSpec, deps: &Dependences) -> Vec<PairDistance
                     min_distance: None,
                 };
             }
-            // Enumerate address streams and find the closest collision.
-            let laddrs: Vec<usize> = space
-                .iter()
-                .map(|row| spec.resolve_index(load.array, eval_affine(&load.index, row)))
-                .collect();
-            let saddrs: Vec<usize> = space
-                .iter()
-                .map(|row| spec.resolve_index(store.array, eval_affine(&store.index, row)))
-                .collect();
-            let mut best: Option<u64> = None;
-            for (i1, &la) in laddrs.iter().enumerate() {
-                for (i2, &sa) in saddrs.iter().enumerate() {
-                    if la != sa {
-                        continue;
-                    }
-                    if i1 == i2 && load.seq < store.seq {
-                        // The load precedes the store in the same iteration:
-                        // program order already protects it.
-                        continue;
-                    }
-                    let d = i1.abs_diff(i2) as u64;
-                    best = Some(best.map_or(d, |b| b.min(d)));
-                    if best == Some(0) {
-                        break;
+            match symdep::classify_accesses(spec, &load.index, &store.index, load.array) {
+                PairClass::Disjoint => {
+                    return PairDistance {
+                        pair,
+                        min_distance: None,
                     }
                 }
+                PairClass::SameIterationOnly if load.seq < store.seq => {
+                    return PairDistance {
+                        pair,
+                        min_distance: None,
+                    }
+                }
+                _ => {}
+            }
+            if !small {
+                // No symbolic proof and the space is too large to enumerate:
+                // the distance is unknowable.
+                return PairDistance {
+                    pair,
+                    min_distance: None,
+                };
             }
             PairDistance {
                 pair,
-                min_distance: best,
+                min_distance: enumerated_min_distance(spec, load, store, &space),
             }
         })
         .collect()
@@ -253,26 +314,40 @@ pub struct Refinement {
 /// Splits the ambiguous pairs into runtime-validated and provably-safe sets.
 ///
 /// A pair is provably safe when both indices are affine (so its address
-/// streams are known exactly) and [`pair_distances`] finds no collision
-/// outside same-iteration program order (`min_distance == None`): every time
-/// the load and store touch the same cell, the load is earlier in the same
-/// iteration's order ROM, which the in-order commit of stores below the
-/// completion frontier already serializes. Removing such a pair from the
-/// validated set skips the arbiter's head-to-tail search for its ops without
-/// weakening validation of any remaining pair — arriving validated ops are
-/// still compared against *all* resident queue records.
+/// streams are known exactly) and no collision exists outside same-iteration
+/// program order: every time the load and store touch the same cell, the
+/// load is earlier in the same iteration's order ROM, which the in-order
+/// commit of stores below the completion frontier already serializes. The
+/// proof comes from the symbolic tests first (a [`PairClass::Disjoint`]
+/// verdict, or [`PairClass::SameIterationOnly`] with the load sequenced
+/// before the store — both scale to arbitrarily large spaces), falling back
+/// to exact enumeration for spaces up to [`ENUM_LIMIT`]; anything unproved
+/// stays conservatively validated. Removing a safe pair from the validated
+/// set skips the arbiter's head-to-tail search for its ops without weakening
+/// validation of any remaining pair — arriving validated ops are still
+/// compared against *all* resident queue records.
 pub fn refine_pairs(spec: &KernelSpec, deps: &Dependences) -> Refinement {
+    let small = spec.iteration_count() <= ENUM_LIMIT;
+    let space = if small { spec.iteration_space() } else { Vec::new() };
     let mut pairs = Vec::new();
     let mut bypassed = Vec::new();
-    for d in pair_distances(spec, deps) {
-        let load = &deps.ops[d.pair.load];
-        let store = &deps.ops[d.pair.store];
+    for &pair in &deps.pairs {
+        let load = &deps.ops[pair.load];
+        let store = &deps.ops[pair.store];
         let affine =
             !load.index.is_runtime_dependent() && !store.index.is_runtime_dependent();
-        if affine && d.min_distance.is_none() {
-            bypassed.push(d.pair);
+        let safe = affine
+            && match symdep::classify_accesses(spec, &load.index, &store.index, load.array) {
+                PairClass::Disjoint => true,
+                PairClass::SameIterationOnly => load.seq < store.seq,
+                PairClass::Unknown => {
+                    small && enumerated_min_distance(spec, load, store, &space).is_none()
+                }
+            };
+        if safe {
+            bypassed.push(pair);
         } else {
-            pairs.push(d.pair);
+            pairs.push(pair);
         }
     }
     Refinement { pairs, bypassed }
@@ -507,6 +582,82 @@ mod tests {
         let d = analyze(&k);
         let dist = pair_distances(&k, &d);
         assert!(dist.iter().all(|p| p.min_distance.is_none()));
+    }
+
+    #[test]
+    fn huge_space_pairs_resolve_symbolically() {
+        // 1000 x 1000 = 10^6 iterations — far past ENUM_LIMIT, so only the
+        // symbolic engine can decide anything here.
+        let a = ArrayId(0);
+        let cell = Expr::var(0).mul(Expr::lit(1000)).add(Expr::var(1));
+        let k = KernelSpec::new(
+            "huge",
+            vec![LoopLevel::upto(1000), LoopLevel::upto(1000)],
+            vec![ArrayDecl::zeroed("a", 1_000_000)],
+            vec![Stmt::store(
+                a,
+                cell.clone(),
+                Expr::load(a, cell).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        assert!(k.iteration_count() > ENUM_LIMIT);
+        let d = analyze(&k);
+        // Same-cell load/store: conservatively an ambiguous pair...
+        assert_eq!(d.pairs.len(), 1);
+        // ...whose every collision is same-iteration load-before-store, so
+        // the symbolic refinement bypasses it.
+        let r = refine_pairs(&k, &d);
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.bypassed.len(), 1);
+        let dist = pair_distances(&k, &d);
+        assert_eq!(dist[0].min_distance, None);
+    }
+
+    #[test]
+    fn huge_space_disjoint_accesses_drop_out_entirely() {
+        // Load the lower half, store the upper half of a 2·10^6 array:
+        // symbolically disjoint, so not even an ambiguous pair.
+        let a = ArrayId(0);
+        let cell = Expr::var(0).mul(Expr::lit(1000)).add(Expr::var(1));
+        let k = KernelSpec::new(
+            "huge_disjoint",
+            vec![LoopLevel::upto(1000), LoopLevel::upto(1000)],
+            vec![ArrayDecl::zeroed("a", 2_000_000)],
+            vec![Stmt::store(
+                a,
+                cell.clone().add(Expr::lit(1_000_000)),
+                Expr::load(a, cell).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        let d = analyze(&k);
+        assert!(d.pairs.is_empty());
+        assert!(!d.needs_disambiguation());
+    }
+
+    #[test]
+    fn huge_space_unproved_pairs_stay_validated() {
+        // A loop-carried shift (store a[i+1], load a[i]) on a big space: the
+        // symbolic engine cannot prove safety and enumeration is off the
+        // table, so the pair must stay in the validated set.
+        let a = ArrayId(0);
+        let k = KernelSpec::new(
+            "huge_carried",
+            vec![LoopLevel::upto(1_000_000)],
+            vec![ArrayDecl::zeroed("a", 1_000_001)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0).add(Expr::lit(1)),
+                Expr::load(a, Expr::var(0)).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        let d = analyze(&k);
+        assert_eq!(d.pairs.len(), 1);
+        let r = refine_pairs(&k, &d);
+        assert_eq!(r.pairs.len(), 1);
+        assert!(r.bypassed.is_empty());
     }
 
     #[test]

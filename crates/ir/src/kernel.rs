@@ -2,7 +2,7 @@
 //! update statements — the input language of the synthesizer, standing in
 //! for the C kernels the paper compiles with Dynamatic.
 
-use prevv_dataflow::components::{iteration_space, LoopLevel};
+use prevv_dataflow::components::{count_iterations, iteration_space, LoopLevel};
 use prevv_dataflow::Value;
 
 use crate::expr::{ArrayId, Expr};
@@ -305,8 +305,12 @@ impl KernelSpec {
     }
 
     /// Total number of innermost iterations.
+    ///
+    /// Computed without materializing the space, so it is cheap even for
+    /// 10^6+-iteration nests that [`KernelSpec::iteration_space`] could not
+    /// reasonably enumerate.
     pub fn iteration_count(&self) -> usize {
-        self.iteration_space().len()
+        count_iterations(&self.levels)
     }
 
     /// Memory operations per iteration (loads + stores over all statements,

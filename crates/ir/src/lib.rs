@@ -51,6 +51,7 @@ mod kernel;
 pub mod parse;
 pub mod pretty;
 pub mod span;
+pub mod symdep;
 pub mod synth;
 
 pub use expr::{ArrayId, BinOp, Expr, OpaqueFn};

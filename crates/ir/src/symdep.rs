@@ -1,0 +1,518 @@
+//! Symbolic dependence tests over affine index expressions.
+//!
+//! The exact analysis in [`crate::depend`] enumerates address sets over the
+//! whole iteration space, which stops scaling around a few thousand
+//! iterations. This module implements the two classical symbolic tests —
+//! the **GCD test** and the **Banerjee bounds test** (per direction vector,
+//! evaluated exactly at the lattice vertices of each triangular region) —
+//! over the affine subset of [`Expr`], so pair-bypass proofs work on
+//! iteration spaces of 10^6 and beyond.
+//!
+//! The engine is deliberately three-valued: it answers [`PairClass::Disjoint`]
+//! or [`PairClass::SameIterationOnly`] only when the claim is *proved*, and
+//! [`PairClass::Unknown`] otherwise. Callers fall back to enumeration (when
+//! the space is small enough) or to the conservative answer. The property
+//! tests in `tests/analyzer_properties.rs` check the one-sided contract
+//! against the brute-force oracle: a proof may be missed, never wrong.
+//!
+//! ## Wrap-around soundness
+//!
+//! Kernel indices are reduced with [`KernelSpec::resolve_index`]
+//! (`rem_euclid(len)`), so two syntactically different addresses can alias
+//! after wrapping. The symbolic tests reason about the *raw* affine values
+//! and are therefore only applied when both access ranges provably fit in
+//! `[0, len)` — checked by [`classify_accesses`]; anything else degrades to
+//! [`PairClass::Unknown`].
+
+use prevv_dataflow::components::{Bound, LoopLevel};
+use prevv_dataflow::Value;
+
+use crate::expr::{BinOp, Expr};
+use crate::kernel::KernelSpec;
+
+/// Direction-vector fan-out is 3^levels; beyond this nest depth the Banerjee
+/// sweep is skipped (the GCD test still runs).
+const MAX_BANERJEE_LEVELS: usize = 8;
+
+/// An affine function of the induction variables:
+/// `constant + Σ coeffs[l] · ind_var(l)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineForm {
+    /// One coefficient per loop level (outermost first).
+    pub coeffs: Vec<i64>,
+    /// The constant term.
+    pub constant: i64,
+}
+
+impl AffineForm {
+    /// A constant form.
+    fn konst(levels: usize, c: i64) -> Self {
+        AffineForm {
+            coeffs: vec![0; levels],
+            constant: c,
+        }
+    }
+
+    /// True when every coefficient is zero.
+    fn is_const(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Extracts the affine form of `e` over a nest of `levels` loops.
+    ///
+    /// Returns `None` for anything outside the linear-affine subset: memory
+    /// reads, opaque functions, division/remainder/bitwise operators, and
+    /// products of two non-constant subexpressions.
+    pub fn from_expr(e: &Expr, levels: usize) -> Option<AffineForm> {
+        match e {
+            Expr::Const(v) => Some(AffineForm::konst(levels, *v)),
+            Expr::IndVar(l) => {
+                if *l >= levels {
+                    return None;
+                }
+                let mut f = AffineForm::konst(levels, 0);
+                f.coeffs[*l] = 1;
+                Some(f)
+            }
+            Expr::Binary(op, l, r) => {
+                let a = AffineForm::from_expr(l, levels)?;
+                let b = AffineForm::from_expr(r, levels)?;
+                match op {
+                    BinOp::Add => Some(a.combine(&b, 1)),
+                    BinOp::Sub => Some(a.combine(&b, -1)),
+                    BinOp::Mul => {
+                        if b.is_const() {
+                            Some(a.scale(b.constant))
+                        } else if a.is_const() {
+                            Some(b.scale(a.constant))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Load(..) | Expr::Opaque(..) => None,
+        }
+    }
+
+    fn combine(&self, other: &AffineForm, sign: i64) -> AffineForm {
+        AffineForm {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| a + sign * b)
+                .collect(),
+            constant: self.constant + sign * other.constant,
+        }
+    }
+
+    fn scale(&self, k: i64) -> AffineForm {
+        AffineForm {
+            coeffs: self.coeffs.iter().map(|&c| c * k).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// The exact `[min, max]` of this form over the given inclusive
+    /// per-level ranges (a box), attained at a corner.
+    pub fn range(&self, bounds: &[(i64, i64)]) -> (i64, i64) {
+        let mut lo = self.constant;
+        let mut hi = self.constant;
+        for (&c, &(l, u)) in self.coeffs.iter().zip(bounds) {
+            if c >= 0 {
+                lo += c * l;
+                hi += c * u;
+            } else {
+                lo += c * u;
+                hi += c * l;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Evaluates the form at one point.
+    pub fn eval(&self, row: &[Value]) -> i64 {
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .zip(row)
+                .map(|(&c, &v)| c * v)
+                .sum::<i64>()
+    }
+}
+
+/// The verdict of the symbolic tests for one load/store access pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairClass {
+    /// Proved: the two accesses never touch the same address, in any pair
+    /// of iterations.
+    Disjoint,
+    /// Proved: every address collision happens with both accesses in the
+    /// *same* iteration — cross-iteration collisions are impossible. Whether
+    /// program order then protects the pair depends on the ops' sequence
+    /// numbers (the caller's job).
+    SameIterationOnly,
+    /// No proof either way; fall back to enumeration or stay conservative.
+    Unknown,
+}
+
+/// Inclusive per-level iteration ranges of a *rectangular* nest.
+///
+/// Returns `None` when any bound references an outer variable
+/// ([`Bound::OuterPlus`], triangular nests) — the box model the symbolic
+/// tests rely on does not apply there. An empty level yields an empty range
+/// (`hi < lo`), which callers treat as a trivially empty space.
+pub fn rect_bounds(levels: &[LoopLevel]) -> Option<Vec<(i64, i64)>> {
+    levels
+        .iter()
+        .map(|l| match (l.lo, l.hi) {
+            (Bound::Const(lo), Bound::Const(hi)) => Some((lo, hi - 1)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Greatest common divisor (non-negative; `gcd(0, 0) == 0`).
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The GCD test: the collision equation `Σ aᵢxᵢ − Σ bᵢyᵢ = Δc` has integer
+/// solutions only when `gcd(a₀..aₗ, b₀..bₗ)` divides `Δc`.
+fn gcd_excludes(a: &AffineForm, b: &AffineForm) -> bool {
+    let g = a
+        .coeffs
+        .iter()
+        .chain(&b.coeffs)
+        .fold(0i64, |acc, &c| gcd(acc, c));
+    let delta = b.constant - a.constant;
+    if g == 0 {
+        // Both forms constant: collision iff the constants are equal.
+        delta != 0
+    } else {
+        delta % g != 0
+    }
+}
+
+/// Per-level contribution bounds of `a·x − b·y` with `x, y ∈ [l, u]` under
+/// one direction relation. Returns `None` when the relation is infeasible
+/// within the range (which excludes the whole direction vector).
+///
+/// `dir`: -1 ⇒ `x < y`, 0 ⇒ `x = y`, 1 ⇒ `x > y`.
+///
+/// Each region is a lattice polytope with integer vertices (a segment for
+/// `=`, a triangle for `<`/`>`), and a linear function attains its extremes
+/// at vertices — so evaluating the corners gives *exact* integer bounds, not
+/// the looser textbook closed forms.
+fn level_bounds(a: i64, b: i64, l: i64, u: i64, dir: i8) -> Option<(i64, i64)> {
+    if u < l {
+        return None;
+    }
+    let t = |x: i64, y: i64| a * x - b * y;
+    let vertices: &[(i64, i64)] = match dir {
+        0 => &[(l, l), (u, u)],
+        -1 => {
+            if u <= l {
+                return None;
+            }
+            &[(l, l + 1), (l, u), (u - 1, u)]
+        }
+        _ => {
+            if u <= l {
+                return None;
+            }
+            &[(l + 1, l), (u, l), (u, u - 1)]
+        }
+    };
+    let vals = vertices.iter().map(|&(x, y)| t(x, y));
+    let lo = vals.clone().min().expect("non-empty vertex set");
+    let hi = vals.max().expect("non-empty vertex set");
+    Some((lo, hi))
+}
+
+/// Banerjee bounds per direction vector: can `a(x) = b(y)` hold for any
+/// `x, y` in the box whose per-level relation is not all-equal?
+///
+/// Returns `(same_iter_possible, cross_iter_possible)`.
+fn banerjee_directions(a: &AffineForm, b: &AffineForm, bounds: &[(i64, i64)]) -> (bool, bool) {
+    let levels = bounds.len();
+    let mut same_possible = false;
+    let mut cross_possible = false;
+    // Enumerate direction vectors as base-3 digits: 0 ⇒ '=', 1 ⇒ '<', 2 ⇒ '>'.
+    let total = 3usize.pow(levels as u32);
+    'dirs: for code in 0..total {
+        let mut lo = a.constant - b.constant;
+        let mut hi = lo;
+        let mut all_equal = true;
+        let mut c = code;
+        for (lvl, &(l, u)) in bounds.iter().enumerate() {
+            let digit = (c % 3) as i8;
+            c /= 3;
+            let dir = match digit {
+                0 => 0i8,
+                1 => -1,
+                _ => 1,
+            };
+            all_equal &= dir == 0;
+            match level_bounds(a.coeffs[lvl], b.coeffs[lvl], l, u, dir) {
+                Some((tl, th)) => {
+                    lo += tl;
+                    hi += th;
+                }
+                None => continue 'dirs, // infeasible direction: excluded
+            }
+        }
+        if lo <= 0 && 0 <= hi {
+            if all_equal {
+                same_possible = true;
+            } else {
+                cross_possible = true;
+            }
+            if same_possible && cross_possible {
+                break;
+            }
+        }
+    }
+    (same_possible, cross_possible)
+}
+
+/// Classifies a load/store pair of affine forms over a rectangular box.
+///
+/// Sound one-sided contract: `Disjoint` and `SameIterationOnly` are proofs;
+/// `Unknown` carries no information. Callers are responsible for the
+/// wrap-around precondition (see the module docs) — use
+/// [`classify_accesses`] for the checked entry point.
+pub fn classify_pair(a: &AffineForm, b: &AffineForm, bounds: &[(i64, i64)]) -> PairClass {
+    if bounds.iter().any(|&(l, u)| u < l) {
+        return PairClass::Disjoint; // empty iteration space
+    }
+    if gcd_excludes(a, b) {
+        return PairClass::Disjoint;
+    }
+    if bounds.len() > MAX_BANERJEE_LEVELS {
+        return PairClass::Unknown;
+    }
+    let (same, cross) = banerjee_directions(a, b, bounds);
+    match (same, cross) {
+        (false, false) => PairClass::Disjoint,
+        (true, false) => PairClass::SameIterationOnly,
+        _ => PairClass::Unknown,
+    }
+}
+
+/// Checked entry point: classifies the (load index, store index) pair of a
+/// kernel access pair on `array`, or [`PairClass::Unknown`] when the
+/// symbolic model does not apply (non-affine index, triangular nest, or a
+/// raw index range that can wrap around the array length).
+pub fn classify_accesses(
+    spec: &KernelSpec,
+    load_index: &Expr,
+    store_index: &Expr,
+    array: crate::expr::ArrayId,
+) -> PairClass {
+    let levels = spec.levels.len();
+    let (Some(a), Some(b)) = (
+        AffineForm::from_expr(load_index, levels),
+        AffineForm::from_expr(store_index, levels),
+    ) else {
+        return PairClass::Unknown;
+    };
+    let Some(bounds) = rect_bounds(&spec.levels) else {
+        return PairClass::Unknown;
+    };
+    if bounds.iter().any(|&(l, u)| u < l) {
+        return PairClass::Disjoint; // empty space: no iterations, no collisions
+    }
+    let len = spec.arrays[array.0].len as i64;
+    for form in [&a, &b] {
+        let (lo, hi) = form.range(&bounds);
+        if lo < 0 || hi >= len {
+            // `resolve_index` would wrap; raw-value reasoning is unsound.
+            return PairClass::Unknown;
+        }
+    }
+    classify_pair(&a, &b, &bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ArrayId;
+    use crate::kernel::{ArrayDecl, Stmt};
+
+    fn bounds1(n: i64) -> Vec<(i64, i64)> {
+        vec![(0, n - 1)]
+    }
+
+    fn form(coeffs: Vec<i64>, constant: i64) -> AffineForm {
+        AffineForm { coeffs, constant }
+    }
+
+    #[test]
+    fn from_expr_extracts_affine_combinations() {
+        // 2*i + 3*j - 5
+        let e = Expr::lit(2)
+            .mul(Expr::var(0))
+            .add(Expr::var(1).mul(Expr::lit(3)))
+            .sub(Expr::lit(5));
+        let f = AffineForm::from_expr(&e, 2).expect("affine");
+        assert_eq!(f, form(vec![2, 3], -5));
+        assert_eq!(f.eval(&[1, 2]), 2 + 6 - 5);
+    }
+
+    #[test]
+    fn from_expr_rejects_nonlinear_and_runtime() {
+        let ij = Expr::var(0).mul(Expr::var(1));
+        assert_eq!(AffineForm::from_expr(&ij, 2), None);
+        let rem = Expr::bin(BinOp::Rem, Expr::var(0), Expr::lit(4));
+        assert_eq!(AffineForm::from_expr(&rem, 1), None);
+        let load = Expr::load(ArrayId(0), Expr::var(0));
+        assert_eq!(AffineForm::from_expr(&load, 1), None);
+    }
+
+    #[test]
+    fn range_is_exact_on_box() {
+        let f = form(vec![2, -3], 1);
+        // i in [0,4], j in [1,3]: min = 1 + 0 - 9 = -8, max = 1 + 8 - 3 = 6
+        assert_eq!(f.range(&[(0, 4), (1, 3)]), (-8, 6));
+    }
+
+    #[test]
+    fn gcd_test_separates_odd_even() {
+        // load 2i, store 2j+1: gcd 2 does not divide 1.
+        let a = form(vec![2], 0);
+        let b = form(vec![2], 1);
+        assert_eq!(classify_pair(&a, &b, &bounds1(100)), PairClass::Disjoint);
+    }
+
+    #[test]
+    fn banerjee_separates_shifted_ranges() {
+        // load i, store i+8 over i in 0..4: ranges [0,3] and [8,11].
+        let a = form(vec![1], 0);
+        let b = form(vec![1], 8);
+        assert_eq!(classify_pair(&a, &b, &bounds1(4)), PairClass::Disjoint);
+    }
+
+    #[test]
+    fn identical_streams_collide_same_iteration_only() {
+        // load i, store i: x = y forces the same iteration.
+        let a = form(vec![1], 0);
+        let b = form(vec![1], 0);
+        assert_eq!(
+            classify_pair(&a, &b, &bounds1(1000)),
+            PairClass::SameIterationOnly
+        );
+    }
+
+    #[test]
+    fn cross_iteration_reuse_is_unknown() {
+        // Outer-var address over a 2-level nest: same cell revisited across
+        // inner iterations — the engine must not claim independence.
+        let a = form(vec![1, 0], 0);
+        let b = form(vec![1, 0], 0);
+        assert_eq!(
+            classify_pair(&a, &b, &[(0, 1), (0, 2)]),
+            PairClass::Unknown
+        );
+    }
+
+    #[test]
+    fn loop_carried_shift_is_unknown() {
+        // load i, store i+1: collision at distance 1.
+        let a = form(vec![1], 0);
+        let b = form(vec![1], 1);
+        assert_eq!(classify_pair(&a, &b, &bounds1(64)), PairClass::Unknown);
+    }
+
+    #[test]
+    fn empty_space_is_disjoint() {
+        let a = form(vec![1], 0);
+        let b = form(vec![1], 0);
+        assert_eq!(classify_pair(&a, &b, &[(0, -1)]), PairClass::Disjoint);
+    }
+
+    #[test]
+    fn constant_addresses_compare_exactly() {
+        assert_eq!(
+            classify_pair(&form(vec![0], 3), &form(vec![0], 4), &bounds1(8)),
+            PairClass::Disjoint
+        );
+        // The same constant address collides in *every* pair of iterations,
+        // cross-iteration included — must not be claimed same-iteration-only.
+        assert_eq!(
+            classify_pair(&form(vec![0], 3), &form(vec![0], 3), &bounds1(8)),
+            PairClass::Unknown
+        );
+    }
+
+    #[test]
+    fn huge_rectangular_spaces_classify_instantly() {
+        // 1000 x 1000 = 10^6 iterations: enumeration is hopeless, the
+        // symbolic proof is O(3^levels).
+        let bounds = [(0, 999), (0, 999)];
+        let a = form(vec![1000, 1], 0); // i*1000 + j (row-major cell)
+        let b = form(vec![1000, 1], 0);
+        assert_eq!(classify_pair(&a, &b, &bounds), PairClass::SameIterationOnly);
+        let shifted = form(vec![1000, 1], 1_000_000); // disjoint upper half
+        assert_eq!(classify_pair(&a, &shifted, &bounds), PairClass::Disjoint);
+    }
+
+    #[test]
+    fn classify_accesses_refuses_wrapping_ranges() {
+        // Index i+6 over i in 0..4 on an array of length 8: raw range [6,9]
+        // wraps — must degrade to Unknown even though the forms are affine.
+        let a = ArrayId(0);
+        let spec = KernelSpec::new(
+            "wrap",
+            vec![prevv_dataflow::components::LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 8)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0).add(Expr::lit(6)),
+                Expr::load(a, Expr::var(0)).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        assert_eq!(
+            classify_accesses(&spec, &Expr::var(0), &Expr::var(0).add(Expr::lit(6)), a),
+            PairClass::Unknown
+        );
+        // In-range shifted store is provably disjoint.
+        assert_eq!(
+            classify_accesses(&spec, &Expr::var(0), &Expr::var(0).add(Expr::lit(4)), a),
+            PairClass::Disjoint
+        );
+    }
+
+    #[test]
+    fn classify_accesses_refuses_triangular_nests() {
+        use prevv_dataflow::components::Bound;
+        let a = ArrayId(0);
+        let spec = KernelSpec::new(
+            "tri",
+            vec![
+                prevv_dataflow::components::LoopLevel::upto(4),
+                prevv_dataflow::components::LoopLevel::new(
+                    Bound::OuterPlus(0, 0),
+                    Bound::Const(4),
+                ),
+            ],
+            vec![ArrayDecl::zeroed("a", 16)],
+            vec![Stmt::store(a, Expr::var(1), Expr::lit(1))],
+        )
+        .expect("valid");
+        assert_eq!(
+            classify_accesses(&spec, &Expr::var(1), &Expr::var(1), a),
+            PairClass::Unknown
+        );
+    }
+}

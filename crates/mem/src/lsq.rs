@@ -484,6 +484,10 @@ impl Component for Lsq {
     fn occupancy(&self) -> usize {
         self.io.occupancy() + self.lq.len() + self.sq.len() + self.ready_allocs.len()
     }
+
+    fn capacity(&self) -> usize {
+        self.config.load_depth + self.config.store_depth
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 (build + tests), lints on the code, and lints
-# on the kernels. Run from the repository root.
+# on the kernels — kernel-level PV0xx and circuit-level PV1xx alike. Run
+# from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,14 +14,35 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> lint-kernels (stock kernels must be error-free)"
-cargo run -q --release -p prevv-analyze --bin prevv-lint -- kernels/*.pvk
+echo "==> lint-kernels (stock kernels must be error-free, circuit pass included)"
+out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --circuit --format json kernels/*.pvk)
+# The JSON document must parse and report zero error-severity findings.
+echo "$out" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+errors = doc["summary"]["errors"]
+warnings = doc["summary"]["warnings"]
+nfiles = len(doc["files"])
+if errors:
+    json.dump(doc, sys.stderr, indent=2)
+    sys.exit(f"\nstock kernels reported {errors} error(s)")
+print(f"    {nfiles} kernels, {errors} errors, {warnings} warnings")
+'
 
-echo "==> lint-kernels (negative fixtures must fail)"
-if cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
-    --no-fake-tokens kernels/bad/*.pvk >/dev/null 2>&1; then
-  echo "error: kernels/bad fixtures unexpectedly linted clean" >&2
-  exit 1
-fi
+echo "==> lint-kernels (negative fixtures must each fail)"
+lint_must_fail() {
+  if cargo run -q --release -p prevv-analyze --bin prevv-lint -- "$@" \
+      >/dev/null 2>&1; then
+    echo "error: prevv-lint $* unexpectedly passed" >&2
+    exit 1
+  fi
+  echo "    refused: $*"
+}
+lint_must_fail kernels/bad/oob.pvk
+lint_must_fail kernels/bad/undeclared.pvk
+lint_must_fail --no-fake-tokens kernels/bad/guarded_nofake.pvk
+lint_must_fail --circuit kernels/bad/undersized_queue.pvk
+lint_must_fail --circuit --controller direct kernels/bad/combinational_loop.pvk
 
 echo "verify: OK"

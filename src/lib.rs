@@ -36,7 +36,9 @@
 
 use std::fmt;
 
-pub use prevv_analyze::{AnalyzeError, AnalyzeOptions, Diagnostic, Report, Severity};
+pub use prevv_analyze::{
+    AnalyzeError, AnalyzeOptions, CircuitOptions, ControllerModel, Diagnostic, Report, Severity,
+};
 pub use prevv_area::{ControllerKind, DesignReport, Resources};
 pub use prevv_core::{PrevvConfig, PrevvError, PrevvMemory, PrevvStats, SquashEvent};
 pub use prevv_dataflow::{SimConfig, SimError, SimReport, Simulator, Value};
@@ -85,6 +87,21 @@ impl Controller {
             Controller::Dynamatic { .. } => "[15]".into(),
             Controller::FastLsq { .. } => "[8]".into(),
             Controller::Prevv(c) => format!("PreVV{}", c.depth),
+        }
+    }
+
+    /// The [`ControllerModel`] the PV1xx circuit lints should close the
+    /// open memory ports with when this controller will be attached.
+    pub fn circuit_model(&self) -> ControllerModel {
+        match self {
+            Controller::Direct => ControllerModel::Direct,
+            Controller::Dynamatic { depth } | Controller::FastLsq { depth } => {
+                // An LSQ holds `depth` loads plus `depth` stores.
+                ControllerModel::Queue {
+                    capacity: 2 * depth,
+                }
+            }
+            Controller::Prevv(c) => ControllerModel::Queue { capacity: c.depth },
         }
     }
 

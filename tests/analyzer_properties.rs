@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 
+use prevv::analyze::symdep::{classify_pair, AffineForm, PairClass};
 use prevv::analyze::{analyze, AnalyzeOptions};
 use prevv::dataflow::components::LoopLevel;
 use prevv::ir::depend;
@@ -111,7 +112,12 @@ proptest! {
         fake_tokens in proptest::arbitrary::any::<bool>(),
         pair_reduction in proptest::arbitrary::any::<bool>(),
     ) {
-        let opts = AnalyzeOptions { fake_tokens, depth, pair_reduction };
+        let opts = AnalyzeOptions {
+            fake_tokens,
+            depth,
+            pair_reduction,
+            ..AnalyzeOptions::default()
+        };
         let report = analyze(&spec, &opts);
         let text = report.render("random", None);
         prop_assert!(text.contains("error(s)"));
@@ -168,5 +174,106 @@ proptest! {
         let run = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv64()))
             .expect("clean kernels run");
         prop_assert!(run.matches_golden);
+    }
+}
+
+// --- symbolic dependence engine vs. brute force -------------------------
+
+prop_compose! {
+    /// A random affine access pair over a shared small rectangular domain:
+    /// coefficients and bounds are kept small so the brute-force oracle
+    /// (full cross product of iteration pairs) stays exact and fast.
+    fn affine_pair()(
+        levels in 1usize..=3,
+    )(
+        coeffs_a in proptest::collection::vec(-4i64..=4, levels),
+        const_a in -12i64..=12,
+        coeffs_b in proptest::collection::vec(-4i64..=4, levels),
+        const_b in -12i64..=12,
+        los in proptest::collection::vec(-3i64..=2, levels),
+        spans in proptest::collection::vec(0i64..=4, levels),
+    ) -> (AffineForm, AffineForm, Vec<(i64, i64)>) {
+        let bounds = los.iter().zip(&spans).map(|(&lo, &s)| (lo, lo + s)).collect();
+        (
+            AffineForm { coeffs: coeffs_a, constant: const_a },
+            AffineForm { coeffs: coeffs_b, constant: const_b },
+            bounds,
+        )
+    }
+}
+
+/// Every iteration row of a rectangular bounds box, in lexicographic order.
+fn rows_of(bounds: &[(i64, i64)]) -> Vec<Vec<i64>> {
+    let mut rows = vec![Vec::new()];
+    for &(lo, hi) in bounds {
+        rows = rows
+            .into_iter()
+            .flat_map(|r| {
+                (lo..=hi).map(move |v| {
+                    let mut r = r.clone();
+                    r.push(v);
+                    r
+                })
+            })
+            .collect();
+    }
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    /// Soundness of the GCD/Banerjee engine (the PV001/PV004 fast path):
+    /// its verdicts must agree with brute-force enumeration on every random
+    /// affine pair. The engine may answer [`PairClass::Unknown`] ("maybe")
+    /// whenever it likes, but a [`PairClass::Disjoint`] claim must mean *no*
+    /// address collision exists anywhere in the space, and a
+    /// [`PairClass::SameIterationOnly`] claim must mean no *cross-iteration*
+    /// collision exists.
+    #[test]
+    fn symbolic_verdicts_agree_with_brute_force(case in affine_pair()) {
+        let (a, b, bounds) = case;
+        let verdict = classify_pair(&a, &b, &bounds);
+        let rows = rows_of(&bounds);
+        let mut same_collision = false;
+        let mut cross_collision = false;
+        for (i, x) in rows.iter().enumerate() {
+            let va = a.eval(x);
+            for (j, y) in rows.iter().enumerate() {
+                if va == b.eval(y) {
+                    if i == j {
+                        same_collision = true;
+                    } else {
+                        cross_collision = true;
+                    }
+                }
+            }
+        }
+        match verdict {
+            PairClass::Disjoint => prop_assert!(
+                !same_collision && !cross_collision,
+                "claimed disjoint but a collision exists: a={a:?} b={b:?} bounds={bounds:?}"
+            ),
+            PairClass::SameIterationOnly => prop_assert!(
+                !cross_collision,
+                "claimed same-iteration-only but a cross-iteration collision exists: \
+                 a={a:?} b={b:?} bounds={bounds:?}"
+            ),
+            PairClass::Unknown => {} // "maybe" is always sound
+        }
+    }
+
+    /// The engine's verdict is invariant under swapping which access is
+    /// "first": collision existence is symmetric, so a proof for (a, b)
+    /// must not become a *stronger* claim for (b, a).
+    #[test]
+    fn symbolic_verdicts_are_symmetric(case in affine_pair()) {
+        let (a, b, bounds) = case;
+        let ab = classify_pair(&a, &b, &bounds);
+        let ba = classify_pair(&b, &a, &bounds);
+        prop_assert_eq!(ab, ba);
     }
 }

@@ -1,13 +1,18 @@
 //! Fixture tests for the static analyzer: the `kernels/bad/` sources must
-//! produce exactly the advertised diagnostic codes, the stock paper kernels
-//! must lint clean of errors, and the PV004 arbiter bypass must be active
-//! (and correct) on a real paper kernel.
+//! produce exactly the advertised diagnostic codes (kernel-level PV0xx and
+//! circuit-level PV1xx alike), the stock paper kernels must lint clean of
+//! errors, and the PV004 arbiter bypass must be active (and correct) on a
+//! real paper kernel — with the symbolic dependence engine alone proving
+//! every bypassed pair.
 
 use std::path::PathBuf;
 
-use prevv::analyze::{self, AnalyzeOptions, Code, Severity};
+use prevv::analyze::symdep::{classify_accesses, PairClass};
+use prevv::analyze::{self, AnalyzeOptions, Code, ControllerModel, Severity};
 use prevv::ir::parse::parse_kernel;
-use prevv::{run_kernel, run_kernel_with, Controller, PrevvConfig, SimConfig, SynthOptions};
+use prevv::{
+    run_kernel, run_kernel_with, CircuitOptions, Controller, PrevvConfig, SimConfig, SynthOptions,
+};
 
 fn read_fixture(rel: &str) -> (String, String) {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
@@ -141,6 +146,124 @@ fn every_fixture_diagnostic_is_emittable_as_json() {
     }
 }
 
+#[test]
+fn combinational_loop_fixture_is_pv103_under_direct_memory_only() {
+    let (name, source) = read_fixture("kernels/bad/combinational_loop.pvk");
+
+    // Against a combinational direct memory, the load→store value path
+    // closes a zero-slack handshake cycle: exactly one PV103, as an error.
+    let direct = analyze::lint_source_with_circuit(
+        &name,
+        &source,
+        &AnalyzeOptions::default(),
+        &CircuitOptions {
+            controller: ControllerModel::Direct,
+        },
+    );
+    assert!(direct.has_errors());
+    let d = direct.with_code(Code::UnbufferedCycle);
+    assert_eq!(d.len(), 1, "exactly one PV103: {:?}", direct.diagnostics);
+    assert_eq!(d[0].severity, Severity::Error);
+
+    // A queued controller has elastic slots on the same cycle, so the
+    // identical netlist lints clean under the default (premature-queue)
+    // controller model.
+    let queued = analyze::lint_source_with_circuit(
+        &name,
+        &source,
+        &AnalyzeOptions::default(),
+        &CircuitOptions::default(),
+    );
+    assert!(
+        !queued.has_errors(),
+        "queued controller breaks the cycle:\n{}",
+        queued.render(&name, Some(&source))
+    );
+
+    // Checked synthesis refuses the kernel when the target memory model is
+    // combinational, with PV103 in the rejection report.
+    let spec = parse_kernel(&name, &source).expect("parses");
+    let opts = AnalyzeOptions {
+        circuit_controller: Some(ControllerModel::Direct),
+        ..AnalyzeOptions::default()
+    };
+    match analyze::synthesize_with(&spec, &SynthOptions::default(), &opts) {
+        Err(analyze::AnalyzeError::Rejected(r)) => {
+            assert!(!r.with_code(Code::UnbufferedCycle).is_empty());
+        }
+        other => panic!("expected PV103 rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn undersized_queue_fixture_is_pv104_and_refused_by_synthesis() {
+    let (name, source) = read_fixture("kernels/bad/undersized_queue.pvk");
+
+    // 17 memory ops per iteration against the default capacity of 16:
+    // PV104 fires as an error, anchored to the offending statement.
+    let report = analyze::lint_source_with_circuit(
+        &name,
+        &source,
+        &AnalyzeOptions::default(),
+        &CircuitOptions::default(),
+    );
+    assert!(report.has_errors());
+    let d = report.with_code(Code::FrontierCapacity);
+    assert_eq!(d.len(), 1, "exactly one PV104: {:?}", report.diagnostics);
+    assert_eq!(d[0].severity, Severity::Error);
+    assert!(d[0].span.is_some(), "PV104 points at the statement");
+
+    // With the kernel-level depth raised past the op count, PV003 no longer
+    // masks the circuit check: an explicitly undersized controller model is
+    // refused on PV104 alone.
+    let spec = parse_kernel(&name, &source).expect("parses");
+    let opts = AnalyzeOptions {
+        depth: 32,
+        circuit_controller: Some(ControllerModel::Queue { capacity: 16 }),
+        ..AnalyzeOptions::default()
+    };
+    match analyze::synthesize_with(&spec, &SynthOptions::default(), &opts) {
+        Err(analyze::AnalyzeError::Rejected(r)) => {
+            assert!(r.with_code(Code::QueueDepth).is_empty(), "PV003 passes");
+            assert!(!r.with_code(Code::FrontierCapacity).is_empty());
+        }
+        other => panic!("expected PV104 rejection, got {other:?}"),
+    }
+}
+
+/// Negative fixtures for the circuit pass: every stock kernel's synthesized
+/// netlist is free of PV1xx findings under the default controller model.
+#[test]
+fn all_stock_kernels_are_circuit_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("kernels");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("kernels dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pvk") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("readable");
+        let name = path.file_stem().and_then(|s| s.to_str()).expect("stem");
+        let report = analyze::lint_source_with_circuit(
+            name,
+            &source,
+            &AnalyzeOptions::default(),
+            &CircuitOptions::default(),
+        );
+        let circuit_findings: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.as_str().starts_with("PV1"))
+            .collect();
+        assert!(
+            circuit_findings.is_empty(),
+            "{name} must be free of PV1xx findings: {circuit_findings:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the five stock kernels, saw {checked}");
+}
+
 /// Acceptance: fig2a's three affine `b` pairs are provably disjoint, the
 /// arbiter is bypassed for them at synthesis, and the bypassed circuit
 /// still matches the golden interpreter (with the runtime-dependent `a`
@@ -175,4 +298,36 @@ fn fig2a_simulates_with_bypassed_arbiter_and_matches_golden() {
     .expect("runs");
     assert!(conservative.matches_golden);
     assert_eq!(run.arrays, conservative.arrays);
+}
+
+/// The symbolic GCD/Banerjee fast path alone proves every pair that
+/// brute-force enumeration proves on fig2a: all three affine `b` pairs are
+/// classified same-iteration-only (their collisions are program-order
+/// protected), and the runtime-dependent `a` pair stays unproven.
+#[test]
+fn fig2a_affine_pairs_are_proven_by_the_symbolic_engine_alone() {
+    let (name, source) = read_fixture("kernels/fig2a.pvk");
+    let spec = parse_kernel(&name, &source).expect("parses");
+    let deps = prevv::ir::depend::analyze(&spec);
+
+    let mut affine = 0;
+    let mut runtime = 0;
+    for pair in &deps.pairs {
+        let load = &deps.ops[pair.load];
+        let store = &deps.ops[pair.store];
+        if load.index.is_runtime_dependent() || store.index.is_runtime_dependent() {
+            runtime += 1;
+            continue;
+        }
+        affine += 1;
+        assert_eq!(
+            classify_accesses(&spec, &load.index, &store.index, load.array),
+            PairClass::SameIterationOnly,
+            "symbolic engine must prove the affine pair (load {} / store {})",
+            pair.load,
+            pair.store,
+        );
+    }
+    assert_eq!(affine, 3, "fig2a has three affine b-pairs");
+    assert_eq!(runtime, 1, "and one runtime-dependent a-pair");
 }
