@@ -3,8 +3,10 @@
 //! ```text
 //! prevv-lint [--format text|json] [--depth N] [--no-fake-tokens]
 //!            [--no-pair-reduction] [--circuit]
-//!            [--controller none|direct|prevv] [--deny-warnings]
-//!            <file.pvk>...
+//!            [--controller none|direct|prevv] [--protocol]
+//!            [--mc-depth N] [--mc-states N] [--no-forwarding]
+//!            [--deny-warnings] <file.pvk>...
+//! prevv-lint --explain PVxxx
 //! ```
 //!
 //! Parses each file and runs every kernel-level `prevv-analyze` lint
@@ -12,7 +14,13 @@
 //! netlist and runs the circuit-level lints (`PV1xx`) against the
 //! controller model chosen by `--controller` (`prevv`, the default, models
 //! a premature queue of `--depth` slots; `direct` a combinational memory;
-//! `none` leaves the memory ports open). Findings render rustc-style
+//! `none` leaves the memory ports open). With `--protocol` it runs the
+//! `PV2xx` bounded model checker over the abstract premature-queue /
+//! arbiter / squash protocol: `--depth` sizes the modeled queue,
+//! `--no-fake-tokens` / `--no-pair-reduction` / `--no-forwarding` configure
+//! the modeled controller, `--mc-depth` bounds the explored iteration
+//! horizon and `--mc-states` caps the explored state count. Findings from
+//! all passes fold into one report per file, rendered rustc-style
 //! (default) or as one JSON document for the whole run:
 //!
 //! ```json
@@ -20,14 +28,19 @@
 //!  "summary":{"errors":N,"warnings":N}}
 //! ```
 //!
+//! `--explain PVxxx` prints the documentation, severity, and a minimal
+//! triggering example for any diagnostic code and exits (status 2 for an
+//! unknown code).
+//!
 //! Parse failures are reported as `PV000`. The exit status is nonzero iff
 //! any file produced an error-severity diagnostic — or, under
 //! `--deny-warnings`, any warning.
 
 use prevv_analyze::{
-    lint_source, lint_source_with_circuit, AnalyzeOptions, CircuitOptions, ControllerModel,
-    Severity,
+    explain_code, lint_source, lint_source_with_circuit, protocol_report, AnalyzeOptions,
+    CircuitOptions, ControllerModel, ProtocolOptions, Severity,
 };
+use prevv_core::PrevvConfig;
 
 enum Format {
     Text,
@@ -39,6 +52,7 @@ struct Args {
     format: Format,
     opts: AnalyzeOptions,
     circuit: Option<CircuitOptions>,
+    protocol: Option<ProtocolOptions>,
     deny_warnings: bool,
 }
 
@@ -46,9 +60,30 @@ fn usage() -> ! {
     eprintln!(
         "usage: prevv-lint [--format text|json] [--depth N] [--no-fake-tokens] \
          [--no-pair-reduction] [--circuit] [--controller none|direct|prevv] \
-         [--deny-warnings] <file.pvk>..."
+         [--protocol] [--mc-depth N] [--mc-states N] [--no-forwarding] \
+         [--deny-warnings] <file.pvk>...\n       prevv-lint --explain PVxxx"
     );
     std::process::exit(2);
+}
+
+fn run_explain(code: Option<String>) -> ! {
+    let Some(code) = code else { usage() };
+    match explain_code(&code) {
+        Some(e) => {
+            println!("{}: {}", e.code, e.title);
+            println!("severity: {}", e.severity);
+            println!("\n{}\n", e.doc);
+            println!("minimal example:");
+            for line in e.example.lines() {
+                println!("    {}", line.trim_start());
+            }
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!("unknown diagnostic code `{code}` (known: PV000..PV006, PV101..PV105, PV200..PV204)");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -57,10 +92,15 @@ fn parse_args() -> Args {
     let mut opts = AnalyzeOptions::default();
     let mut want_circuit = false;
     let mut controller = None;
+    let mut want_protocol = false;
+    let mut mc_depth = 0u64;
+    let mut mc_states = 0usize;
+    let mut forwarding = true;
     let mut deny_warnings = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--explain" => run_explain(it.next()),
             "--format" => {
                 format = match it.next().as_deref() {
                     Some("text") => Format::Text,
@@ -86,6 +126,22 @@ fn parse_args() -> Args {
                 };
                 want_circuit = true;
             }
+            "--protocol" => want_protocol = true,
+            "--mc-depth" => {
+                mc_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                want_protocol = true;
+            }
+            "--mc-states" => {
+                mc_states = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                want_protocol = true;
+            }
+            "--no-forwarding" => forwarding = false,
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => files.push(f.to_string()),
@@ -100,11 +156,26 @@ fn parse_args() -> Args {
             capacity: opts.depth,
         }),
     });
+    let protocol = want_protocol.then(|| {
+        let mut p = ProtocolOptions::for_config(&PrevvConfig {
+            depth: opts.depth,
+            pair_reduction: opts.pair_reduction,
+            forwarding,
+            ..PrevvConfig::default()
+        });
+        p.fake_tokens = opts.fake_tokens;
+        p.iterations = mc_depth;
+        if mc_states > 0 {
+            p.max_states = mc_states;
+        }
+        p
+    });
     Args {
         files,
         format,
         opts,
         circuit,
+        protocol,
         deny_warnings,
     }
 }
@@ -126,10 +197,19 @@ fn main() {
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("kernel");
-        let report = match &args.circuit {
+        let mut report = match &args.circuit {
             Some(circuit) => lint_source_with_circuit(name, &source, &args.opts, circuit),
             None => lint_source(name, &source, &args.opts),
         };
+        if let Some(protocol) = &args.protocol {
+            // The protocol pass needs a parsed kernel; a PV000 in the base
+            // report means there is nothing to check.
+            if let Ok(spec) = prevv_ir::parse::parse_kernel(name, &source) {
+                report
+                    .diagnostics
+                    .extend(protocol_report(&spec, protocol).diagnostics);
+            }
+        }
         total_errors += report.count(Severity::Error);
         total_warnings += report.count(Severity::Warning);
         match args.format {

@@ -41,6 +41,21 @@ pub enum Code {
     FrontierCapacity,
     /// `PV105` — a component unreachable from any token source.
     UnreachableComponent,
+    /// `PV200` — the protocol model checker hit its state or depth bound
+    /// before exhausting the space: PV201–PV204 verdicts are incomplete.
+    ProtocolBound,
+    /// `PV201` — a reachable protocol state has no enabled transition and
+    /// the kernel has not completed (protocol deadlock).
+    ProtocolDeadlock,
+    /// `PV202` — a reachable cycle squashes and replays the same iteration
+    /// without the retired frontier advancing (squash livelock).
+    SquashLivelock,
+    /// `PV203` — on some interleaving an operation can never take a queue
+    /// slot and no resident entry can retire (capacity wedge).
+    QueueWedge,
+    /// `PV204` — a §V-B pair-reduced representative reaches a state where
+    /// its validation verdict differs from the unreduced set's.
+    ReductionUnsound,
 }
 
 impl Code {
@@ -59,6 +74,11 @@ impl Code {
             Code::UnbufferedCycle => "PV103",
             Code::FrontierCapacity => "PV104",
             Code::UnreachableComponent => "PV105",
+            Code::ProtocolBound => "PV200",
+            Code::ProtocolDeadlock => "PV201",
+            Code::SquashLivelock => "PV202",
+            Code::QueueWedge => "PV203",
+            Code::ReductionUnsound => "PV204",
         }
     }
 }
@@ -297,6 +317,11 @@ mod tests {
         assert_eq!(Code::UnbufferedCycle.as_str(), "PV103");
         assert_eq!(Code::FrontierCapacity.as_str(), "PV104");
         assert_eq!(Code::UnreachableComponent.as_str(), "PV105");
+        assert_eq!(Code::ProtocolBound.as_str(), "PV200");
+        assert_eq!(Code::ProtocolDeadlock.as_str(), "PV201");
+        assert_eq!(Code::SquashLivelock.as_str(), "PV202");
+        assert_eq!(Code::QueueWedge.as_str(), "PV203");
+        assert_eq!(Code::ReductionUnsound.as_str(), "PV204");
     }
 
     #[test]

@@ -19,18 +19,28 @@
 //! | PV103 | error    | circuit: handshake cycle with no elastic buffer (structural deadlock) |
 //! | PV104 | error/warn | circuit: controller capacity inconsistent with the in-flight iteration frontier |
 //! | PV105 | warning  | circuit: component unreachable from any token source |
+//! | PV200 | note/warn | protocol: model checker stopped at its iteration/state bound |
+//! | PV201 | error    | protocol: reachable deadlock (shortest trace attached) |
+//! | PV202 | error    | protocol: squash livelock — replay cycle with no frontier progress |
+//! | PV203 | error    | protocol: queue capacity insufficient on some interleaving |
+//! | PV204 | warning  | protocol: §V-B pair-reduction representative diverges from the unreduced set |
 //!
 //! The `PV0xx` lints run on the kernel; the `PV1xx` lints ([`circuit`])
 //! run on the synthesized netlist via the channel-graph introspection API
-//! of `prevv-dataflow`. The affine machinery behind PV001/PV004 is the
+//! of `prevv-dataflow`; the `PV2xx` lints ([`modelcheck`]) bounded-model-
+//! check the abstract arbiter/premature-queue/squash protocol itself,
+//! reusing the pure `prevv_core::ProtocolState` step functions the
+//! simulator runs. The affine machinery behind PV001/PV004 is the
 //! symbolic dependence engine re-exported as [`symdep`] (GCD and Banerjee
-//! tests), which lets both lint families scale past enumerable iteration
-//! spaces.
+//! tests), which lets the lint families scale past enumerable iteration
+//! spaces. [`explain`] documents every code with a minimal triggering
+//! example (`prevv-lint --explain PVxxx`).
 //!
 //! [`synthesize`] is the checked front door: it runs the analyzer and
 //! refuses kernels with any error-severity finding, attaching the report.
 //! It then runs the circuit lints on the synthesized netlist and refuses
-//! error-severity circuit findings too.
+//! error-severity circuit findings too (and, when
+//! [`AnalyzeOptions::protocol`] is set, the protocol findings).
 //!
 //! ```
 //! use prevv_analyze::{analyze, AnalyzeOptions, Code};
@@ -54,11 +64,18 @@ use prevv_ir::{KernelError, KernelSpec, SynthOptions, SynthesizedKernel};
 
 pub mod circuit;
 pub mod diag;
+pub mod explain;
 mod lints;
+pub mod modelcheck;
 pub mod symdep;
 
 pub use circuit::{lint_circuit, lint_netlist, CircuitOptions, ControllerModel};
 pub use diag::{Code, Diagnostic, Report, Severity};
+pub use explain::{explain as explain_code, Explanation};
+pub use modelcheck::{
+    check as check_protocol, replay as replay_counterexample, CheckResult, Counterexample,
+    EventKind, ProtocolOptions, ReplayOutcome, TraceEvent,
+};
 
 /// Configuration the analyzer checks the kernel against. Mirrors the knobs
 /// of [`SynthOptions`] and [`PrevvConfig`] that change static safety.
@@ -77,6 +94,10 @@ pub struct AnalyzeOptions {
     /// `None` derives [`ControllerModel::Queue`] from [`Self::depth`] — the
     /// premature queue the kernel will actually run against.
     pub circuit_controller: Option<ControllerModel>,
+    /// Run the PV2xx protocol model checker ([`modelcheck::check`]) as an
+    /// additional pass in checked synthesis. `None` (the default) skips it —
+    /// exhaustive exploration costs far more than the static lints.
+    pub protocol: Option<ProtocolOptions>,
 }
 
 impl Default for AnalyzeOptions {
@@ -87,6 +108,7 @@ impl Default for AnalyzeOptions {
             depth: cfg.depth,
             pair_reduction: cfg.pair_reduction,
             circuit_controller: None,
+            protocol: None,
         }
     }
 }
@@ -236,7 +258,35 @@ pub fn synthesize_with(
     if report.has_errors() {
         return Err(AnalyzeError::Rejected(report));
     }
+    if let Some(protocol) = &analyze_opts.protocol {
+        report
+            .diagnostics
+            .extend(protocol_report(spec, protocol).diagnostics);
+        if report.has_errors() {
+            return Err(AnalyzeError::Rejected(report));
+        }
+    }
     Ok((synth, report))
+}
+
+/// Runs the PV2xx bounded model checker over an already-validated kernel
+/// and returns its findings as a plain [`Report`]. An internal checker
+/// failure (a kernel the abstract model cannot represent) is reported as a
+/// `PV200` warning rather than a panic, so callers can always fold the
+/// result into a larger report. This is what `prevv-lint --protocol` and
+/// checked synthesis with [`AnalyzeOptions::protocol`] run.
+pub fn protocol_report(spec: &KernelSpec, opts: &ProtocolOptions) -> Report {
+    match modelcheck::check(spec, opts) {
+        Ok(result) => result.report,
+        Err(e) => {
+            let mut r = Report::default();
+            r.push(Diagnostic::warning(
+                Code::ProtocolBound,
+                format!("protocol model checker could not run: {e}"),
+            ));
+            r
+        }
+    }
 }
 
 /// Checked synthesis with default options; see [`synthesize_with`].

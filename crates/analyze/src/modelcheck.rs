@@ -1,0 +1,1246 @@
+//! PV2xx — bounded explicit-state model checking of the PreVV protocol.
+//!
+//! The checker builds an abstract transition system from a [`KernelSpec`]
+//! and a [`PrevvConfig`] and explores it exhaustively (BFS over hash-consed
+//! states) up to a configurable iteration bound:
+//!
+//! * **State** — the pure [`ProtocolState`] (premature queue, completion
+//!   frontier, in-order commit cursor, admission reservation) shared
+//!   verbatim with the cycle-accurate simulator, plus a per-port issue
+//!   cursor and the abstract RAM image.
+//! * **Transitions** — nondeterministic per-port arrivals (real, fake, or
+//!   — with fake tokens disabled — a silent *skip*), validated by the very
+//!   same [`Arbiter::verdict`] comparator the simulator uses; a `Squash`
+//!   verdict flushes and rewinds exactly like the controller's
+//!   squash-and-replay. Housekeeping (frontier advance, in-order commit,
+//!   retirement) is deterministic, monotone and confluent, so it runs to a
+//!   fixpoint after every arrival rather than being interleaved — a sound
+//!   reduction of the state space (see DESIGN.md).
+//! * **Verdicts** —
+//!   [`PV201`](Code::ProtocolDeadlock) reachable deadlock (no enabled
+//!   transition, unretired records), [`PV202`](Code::SquashLivelock)
+//!   squash livelock (a cycle squashing the same iteration without
+//!   frontier progress), [`PV203`](Code::QueueWedge) insufficient queue
+//!   capacity on some interleaving, and
+//!   [`PV204`](Code::ReductionUnsound) a §V-B-eliminated operation whose
+//!   full-set validation verdict is a squash the reduced set would miss.
+//!
+//! Counterexamples are shortest traces of protocol events (BFS parents),
+//! span-annotated via [`Stmt::op_span`](prevv_ir::Stmt::op_span), and can
+//! be re-executed against the transition system with [`replay`] — which is
+//! how the property tests prove every reported trace is real.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use prevv_core::protocol::ProtocolKey;
+use prevv_core::reduce::reduce;
+use prevv_core::{Arbiter, CommitStep, PrematureRecord, PrevvConfig, ProtocolState, Verdict};
+use prevv_dataflow::{Tag, Value};
+use prevv_ir::{depend::StaticMemOp, Expr, KernelSpec, MemOpKind, Span};
+
+use crate::diag::{Code, Diagnostic, Report};
+
+/// Default iteration bound when [`ProtocolOptions::iterations`] is zero.
+///
+/// Two iterations cover every protocol interaction the checker looks for:
+/// intra-iteration ordering, the distance-1 cross-iteration hazards that
+/// drive squash/replay, admission reservation across the frontier, and
+/// guarded-iteration draining. Deeper bounds are opt-in (`--mc-depth`);
+/// the state count grows steeply with the bound (see DESIGN.md).
+pub const DEFAULT_ITERATION_BOUND: u64 = 2;
+
+/// Default cap on explored states before the checker gives up with PV200.
+pub const DEFAULT_MAX_STATES: usize = 120_000;
+
+/// Configuration of the protocol model checker.
+#[derive(Debug, Clone)]
+pub struct ProtocolOptions {
+    /// Controller configuration being verified (queue depth, forwarding,
+    /// pair reduction).
+    pub config: PrevvConfig,
+    /// Whether guarded ops send fake tokens (paper §V-C). Disabling this on
+    /// a guarded kernel is the canonical PV201 deadlock.
+    pub fake_tokens: bool,
+    /// Iteration bound: only the first `iterations` iterations are
+    /// explored. `0` selects [`DEFAULT_ITERATION_BOUND`]. The bound is the
+    /// checker's soundness horizon — see DESIGN.md.
+    pub iterations: u64,
+    /// State cap: exploration stops with a PV200 warning beyond this.
+    pub max_states: usize,
+}
+
+impl Default for ProtocolOptions {
+    fn default() -> Self {
+        ProtocolOptions {
+            config: PrevvConfig::default(),
+            fake_tokens: true,
+            iterations: 0,
+            max_states: DEFAULT_MAX_STATES,
+        }
+    }
+}
+
+impl ProtocolOptions {
+    /// Options for a concrete controller configuration.
+    pub fn for_config(cfg: &PrevvConfig) -> Self {
+        ProtocolOptions {
+            config: cfg.clone(),
+            ..Self::default()
+        }
+    }
+}
+
+/// What kind of protocol event a trace step is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A real operation arrived and validated clean.
+    Arrive,
+    /// A real load arrived and took the forwarded value of the youngest
+    /// older resident store.
+    Forward,
+    /// A guarded op's guard was false and it sent a fake token.
+    Fake,
+    /// A guarded op's guard was false and — fake tokens disabled — it sent
+    /// nothing at all.
+    Skip,
+    /// A real arrival was found in violation: squash and replay.
+    Squash,
+}
+
+/// One step of a counterexample trace.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Static port (= op id from `depend::enumerate_ops`).
+    pub op: usize,
+    /// Iteration the event belongs to.
+    pub iter: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Flat RAM address touched (real arrivals only).
+    pub addr: Option<usize>,
+    /// Value read/written/forwarded (real arrivals only).
+    pub value: Value,
+    /// Squash restart iteration (squash events only).
+    pub squash_from: Option<u64>,
+    /// Source span of the op, when the kernel was parsed from text.
+    pub span: Option<Span>,
+    /// Human-readable rendering of the event.
+    pub desc: String,
+}
+
+/// A machine-readable counterexample: the shortest event trace reaching
+/// the violation. For livelocks, `cycle_from` indexes the first event of
+/// the repeating cycle.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Which PV2xx property the trace violates.
+    pub code: Code,
+    /// The events, in execution order.
+    pub events: Vec<TraceEvent>,
+    /// Livelock only: `events[cycle_from..]` repeats forever.
+    pub cycle_from: Option<usize>,
+}
+
+impl Counterexample {
+    /// Renders the trace as numbered lines (used as diagnostic help text).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("counterexample ({} events):", self.events.len()));
+        for (i, e) in self.events.iter().enumerate() {
+            out.push('\n');
+            out.push_str(&format!("  {:>2}. {}", i + 1, e.desc));
+        }
+        if let Some(k) = self.cycle_from {
+            out.push_str(&format!(
+                "\n  events {}..{} repeat forever (no frontier progress)",
+                k + 1,
+                self.events.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Result of a protocol model-checking run.
+#[derive(Debug)]
+pub struct CheckResult {
+    /// PV200–PV204 diagnostics, rendered traces attached as help text.
+    pub report: Report,
+    /// Machine-readable counterexamples (at most one per code, shortest
+    /// first found by BFS).
+    pub counterexamples: Vec<Counterexample>,
+    /// Number of distinct abstract states explored.
+    pub states: usize,
+    /// False when the state cap was hit before exhausting the space.
+    pub complete: bool,
+    /// The iteration bound actually used.
+    pub bound: u64,
+}
+
+impl CheckResult {
+    /// True when no PV201–PV204 property was violated.
+    pub fn is_clean(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+/// Outcome of [`replay`]ing a counterexample.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayOutcome {
+    /// After the trace, no transition is enabled and the run has not
+    /// succeeded (PV201/PV203 witness).
+    pub deadlock: bool,
+    /// After the trace, at least one op is blocked by the admission
+    /// reservation (distinguishes PV203 from PV201).
+    pub admission_blocked: bool,
+    /// Livelock traces only: the state at `cycle_from` recurred exactly at
+    /// the end of the trace (the cycle closes).
+    pub cycle_closed: bool,
+}
+
+/// Model-checks the PreVV protocol for `spec` under `opts`.
+///
+/// # Errors
+///
+/// Returns a message when the kernel fails validation or synthesis (the
+/// checker needs the synthesized memory interface for the ambiguous-pair
+/// and §V-B reduction sets).
+pub fn check(spec: &KernelSpec, opts: &ProtocolOptions) -> Result<CheckResult, String> {
+    Ok(Model::build(spec, opts)?.explore())
+}
+
+/// Re-executes a counterexample against the transition system, verifying
+/// every event is enabled and produces the recorded kind/iteration, then
+/// classifies the final state.
+///
+/// # Errors
+///
+/// Returns a message when the model cannot be built or the trace diverges
+/// (an event not enabled, or enabled with a different kind/iteration) —
+/// which would mean the checker emitted a bogus trace.
+pub fn replay(
+    spec: &KernelSpec,
+    opts: &ProtocolOptions,
+    cex: &Counterexample,
+) -> Result<ReplayOutcome, String> {
+    let model = Model::build(spec, opts)?;
+    let mut st = model.initial();
+    let mut cycle_key = None;
+    for (k, ev) in cex.events.iter().enumerate() {
+        if Some(k) == cex.cycle_from {
+            cycle_key = Some(st.key());
+        }
+        match model.try_step(&st, ev.op) {
+            StepOutcome::Stepped { next, event, .. } => {
+                if event.kind != ev.kind || event.iter != ev.iter {
+                    return Err(format!(
+                        "event {}: expected {:?} of iteration {}, got {:?} of iteration {}",
+                        k + 1,
+                        ev.kind,
+                        ev.iter,
+                        event.kind,
+                        event.iter
+                    ));
+                }
+                st = *next;
+            }
+            blocked => {
+                return Err(format!(
+                    "event {}: op {} not enabled ({})",
+                    k + 1,
+                    ev.op,
+                    blocked.name()
+                ))
+            }
+        }
+    }
+    let mut any = false;
+    let mut adm = false;
+    for op in 0..model.ops.len() {
+        match model.try_step(&st, op) {
+            StepOutcome::Stepped { .. } => any = true,
+            StepOutcome::BlockedAdmission => adm = true,
+            _ => {}
+        }
+    }
+    Ok(ReplayOutcome {
+        deadlock: !any && !model.is_success(&st),
+        admission_blocked: adm,
+        cycle_closed: cycle_key.is_some_and(|k| k == st.key()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The abstract transition system.
+// ---------------------------------------------------------------------------
+
+/// One abstract state: the shared protocol state, the per-port issue
+/// cursor (next iteration each static op will process), and the RAM image.
+#[derive(Debug, Clone)]
+struct McState {
+    proto: ProtocolState,
+    issued: Vec<u64>,
+    ram: Vec<Value>,
+}
+
+type StateKey = (ProtocolKey, Vec<u64>, Vec<Value>);
+
+impl McState {
+    fn key(&self) -> StateKey {
+        (self.proto.key(), self.issued.clone(), self.ram.clone())
+    }
+}
+
+enum StepOutcome {
+    /// The op has a unique enabled transition. The successor is boxed so
+    /// the blocked variants stay pointer-sized.
+    Stepped {
+        next: Box<McState>,
+        event: TraceEvent,
+        squash: bool,
+        /// The arrival is a §V-B-eliminated op whose full-set verdict was a
+        /// squash (the PV204 witness condition).
+        reduction_escape: bool,
+    },
+    /// Blocked by the admission reservation (a PV203 witness when terminal).
+    BlockedAdmission,
+    /// Blocked waiting for an operand load of the same iteration.
+    BlockedOperand,
+    /// All `bound` iterations of this op already processed.
+    Exhausted,
+}
+
+impl StepOutcome {
+    fn name(&self) -> &'static str {
+        match self {
+            StepOutcome::Stepped { .. } => "enabled",
+            StepOutcome::BlockedAdmission => "blocked on admission",
+            StepOutcome::BlockedOperand => "blocked on an operand",
+            StepOutcome::Exhausted => "exhausted",
+        }
+    }
+}
+
+enum DeadCause {
+    /// A guarded op silently skipped iteration `iter` — the frontier waits
+    /// for a token that will never come (missing fake tokens, §V-C).
+    MissingToken { op: usize, iter: u64 },
+    /// Every not-yet-arrived op is refused a queue slot.
+    Wedge { op: usize, iter: u64 },
+    /// Any other stuck shape.
+    Stuck,
+}
+
+struct Model<'a> {
+    spec: &'a KernelSpec,
+    cfg: PrevvConfig,
+    fake_tokens: bool,
+    bound: u64,
+    max_states: usize,
+    truncated: bool,
+    ops: Vec<StaticMemOp>,
+    stmt_base: Vec<usize>,
+    spans: Vec<Option<Span>>,
+    labels: Vec<String>,
+    store_seqs: Vec<u32>,
+    ports: u32,
+    bases: Vec<usize>,
+    array_of_addr: Vec<usize>,
+    init_ram: Vec<Value>,
+    rows: Vec<Vec<Value>>,
+    guard_taken: Vec<Vec<bool>>,
+    arbiter: Arbiter,
+    validated: HashSet<usize>,
+    reduced: HashSet<usize>,
+    expected_ram: Vec<Value>,
+}
+
+impl<'a> Model<'a> {
+    fn build(spec: &'a KernelSpec, opts: &ProtocolOptions) -> Result<Self, String> {
+        spec.validate().map_err(|e| format!("invalid kernel: {e}"))?;
+        let synth = prevv_ir::synthesize(spec).map_err(|e| format!("synthesis failed: {e}"))?;
+        let iface = &synth.interface;
+
+        let requested = if opts.iterations == 0 {
+            DEFAULT_ITERATION_BOUND
+        } else {
+            opts.iterations
+        };
+        let total = spec.iteration_count() as u64;
+        let bound = requested.min(total);
+        let truncated = bound < total;
+
+        let ops: Vec<StaticMemOp> = iface.ports.iter().map(|p| p.op.clone()).collect();
+        let mut stmt_base = Vec::with_capacity(spec.body.len());
+        let mut base = 0usize;
+        for stmt in &spec.body {
+            stmt_base.push(base);
+            base += stmt.mem_op_count();
+        }
+        let spans: Vec<Option<Span>> = ops
+            .iter()
+            .map(|o| spec.body[o.stmt].op_span(o.id - stmt_base[o.stmt]))
+            .collect();
+        let labels: Vec<String> = ops
+            .iter()
+            .map(|o| {
+                let kind = match o.kind {
+                    MemOpKind::Load => "load",
+                    MemOpKind::Store => "store",
+                };
+                format!("{kind} {}", spec.arrays[o.array.0].name)
+            })
+            .collect();
+        let store_seqs: Vec<u32> = ops
+            .iter()
+            .filter(|o| o.kind == MemOpKind::Store)
+            .map(|o| o.seq)
+            .collect();
+        let ports = ops.len() as u32;
+
+        let bases: Vec<usize> = iface.arrays.iter().map(|a| a.base).collect();
+        let mut array_of_addr = vec![0usize; iface.ram_words()];
+        for (ai, a) in iface.arrays.iter().enumerate() {
+            for slot in array_of_addr.iter_mut().skip(a.base).take(a.len) {
+                *slot = ai;
+            }
+        }
+        let init_ram = iface.initial_ram();
+        let rows: Vec<Vec<Value>> = spec
+            .iteration_space()
+            .into_iter()
+            .take(bound as usize)
+            .collect();
+        let guard_taken: Vec<Vec<bool>> = rows
+            .iter()
+            .map(|row| {
+                spec.body
+                    .iter()
+                    .map(|s| s.guard.as_ref().is_none_or(|g| eval_affine(g, row) != 0))
+                    .collect()
+            })
+            .collect();
+
+        let validated = iface.ambiguous_ops();
+        let reduced = reduce(iface, true).validated;
+        let arbiter = Arbiter::new(validated.clone(), opts.config.forwarding);
+
+        let expected_ram = sequential_ram(spec, &bases, &init_ram, &rows, &guard_taken);
+
+        Ok(Model {
+            spec,
+            cfg: opts.config.clone(),
+            fake_tokens: opts.fake_tokens,
+            bound,
+            max_states: opts.max_states.max(1),
+            truncated,
+            ops,
+            stmt_base,
+            spans,
+            labels,
+            store_seqs,
+            ports,
+            bases,
+            array_of_addr,
+            init_ram,
+            rows,
+            guard_taken,
+            arbiter,
+            validated,
+            reduced,
+            expected_ram,
+        })
+    }
+
+    fn initial(&self) -> McState {
+        McState {
+            proto: ProtocolState::new(self.cfg.depth),
+            issued: vec![0; self.ops.len()],
+            ram: self.init_ram.clone(),
+        }
+    }
+
+    fn is_success(&self, st: &McState) -> bool {
+        // The circuit's done condition: every iteration issued, every record
+        // retired, and the completion frontier passed every iteration. A
+        // silently skipped guarded op (no fake token) leaves the frontier
+        // behind forever — that is the §V-C deadlock even when the queue
+        // happens to be empty.
+        st.issued.iter().all(|&i| i >= self.bound)
+            && st.proto.queue.is_empty()
+            && st.proto.frontier >= self.bound
+    }
+
+    /// The operand ops (loads whose record values feed this op) of `op`, as
+    /// id ranges. Loads depend on the loads nested in their index
+    /// expression, which `Expr::loads` places contiguously right before
+    /// them; stores depend on all of their statement's loads.
+    fn operands(&self, op: usize) -> std::ops::Range<usize> {
+        let o = &self.ops[op];
+        match o.kind {
+            MemOpKind::Load => {
+                let nested = o.index.loads().len();
+                (op - nested)..op
+            }
+            MemOpKind::Store => self.stmt_base[o.stmt]..op,
+        }
+    }
+
+    /// Deterministic housekeeping to fixpoint: frontier advance, in-order
+    /// commit (writing the abstract RAM), retirement. Monotone (frontier and
+    /// commit cursor only grow, records only leave) and confluent, so eager
+    /// application is a sound state-space reduction.
+    fn housekeeping(&self, st: &mut McState) {
+        loop {
+            let before = (st.proto.frontier, st.proto.next_commit, st.proto.queue.len());
+            st.proto.advance_frontier(self.ports, u64::MAX);
+            loop {
+                match st.proto.commit_step(&self.store_seqs, true) {
+                    CommitStep::Write { addr, value } => st.ram[addr] = value,
+                    CommitStep::Fake => {}
+                    CommitStep::Blocked => break,
+                }
+            }
+            st.proto.retire(st.proto.queue.len());
+            if (st.proto.frontier, st.proto.next_commit, st.proto.queue.len()) == before {
+                break;
+            }
+        }
+    }
+
+    /// Evaluates `e` over induction-variable `row`, consuming the recorded
+    /// operand load values in canonical (depth-first) order.
+    fn eval_consume(&self, e: &Expr, row: &[Value], vals: &[Value], cur: &mut usize) -> Value {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::IndVar(l) => row[*l],
+            Expr::Load(_, idx) => {
+                let _ = self.eval_consume(idx, row, vals, cur);
+                let v = vals[*cur];
+                *cur += 1;
+                v
+            }
+            Expr::Binary(op, l, r) => {
+                let a = self.eval_consume(l, row, vals, cur);
+                let b = self.eval_consume(r, row, vals, cur);
+                op.apply(a, b)
+            }
+            Expr::Opaque(f, x) => f.apply(self.eval_consume(x, row, vals, cur)),
+        }
+    }
+
+    fn operand_values(&self, st: &McState, range: std::ops::Range<usize>, iter: u64) -> Vec<Value> {
+        range
+            .map(|q| {
+                st.proto
+                    .queue
+                    .iter()
+                    .find(|r| r.port == q && r.iter == iter)
+                    .map(|r| r.value)
+                    .expect("operand record resident")
+            })
+            .collect()
+    }
+
+    /// Address and premature value of the arriving real op.
+    fn evaluate(&self, st: &McState, op: usize, iter: u64) -> (usize, Value) {
+        let o = &self.ops[op];
+        let row = &self.rows[iter as usize];
+        let vals = self.operand_values(st, self.operands(op), iter);
+        match o.kind {
+            MemOpKind::Load => {
+                let mut cur = 0;
+                let raw = self.eval_consume(&o.index, row, &vals, &mut cur);
+                let addr = self.bases[o.array.0] + self.spec.resolve_index(o.array, raw);
+                // Issue-time bypass: a resident older store to the same
+                // address supplies the value when forwarding is on, or
+                // unconditionally within the same iteration (program order
+                // guarantees the store is what the load must observe).
+                let value = match st.proto.resident_bypass(addr, (iter, o.seq)) {
+                    Some((v, src)) if self.cfg.forwarding || src == iter => v,
+                    _ => st.ram[addr],
+                };
+                (addr, value)
+            }
+            MemOpKind::Store => {
+                let stmt = &self.spec.body[o.stmt];
+                let mi = stmt.index.loads().len();
+                let mut cur = 0;
+                let raw = self.eval_consume(&stmt.index, row, &vals[..mi], &mut cur);
+                let mut cur = 0;
+                let value = self.eval_consume(&stmt.value, row, &vals[mi..], &mut cur);
+                let addr = self.bases[o.array.0] + self.spec.resolve_index(o.array, raw);
+                (addr, value)
+            }
+        }
+    }
+
+    fn describe(&self, op: usize, iter: u64, kind: EventKind, addr: Option<usize>, value: Value, from: Option<u64>) -> String {
+        let label = &self.labels[op];
+        let place = addr.map(|a| {
+            let ai = self.array_of_addr[a];
+            format!("{}[{}]", self.spec.arrays[ai].name, a - self.bases[ai])
+        });
+        match kind {
+            EventKind::Arrive => format!(
+                "arrive {label}#{op} iter {iter}: {} = {value}",
+                place.unwrap_or_default()
+            ),
+            EventKind::Forward => format!(
+                "arrive {label}#{op} iter {iter}: {} forwarded {value} from a resident store",
+                place.unwrap_or_default()
+            ),
+            EventKind::Fake => format!("fake token {label}#{op} iter {iter} (guard false)"),
+            EventKind::Skip => format!(
+                "skip {label}#{op} iter {iter} (guard false, fake tokens disabled: no token sent)"
+            ),
+            EventKind::Squash => format!(
+                "arrive {label}#{op} iter {iter}: {} = {value} — violation, squash from iter {}",
+                place.unwrap_or_default(),
+                from.unwrap_or(iter)
+            ),
+        }
+    }
+
+    fn event(&self, op: usize, iter: u64, kind: EventKind, addr: Option<usize>, value: Value, from: Option<u64>) -> TraceEvent {
+        TraceEvent {
+            op,
+            iter,
+            kind,
+            addr,
+            value,
+            squash_from: from,
+            span: self.spans[op],
+            desc: self.describe(op, iter, kind, addr, value, from),
+        }
+    }
+
+    /// The unique transition of `op` from `st`, if enabled.
+    fn try_step(&self, st: &McState, op: usize) -> StepOutcome {
+        let iter = st.issued[op];
+        if iter >= self.bound {
+            return StepOutcome::Exhausted;
+        }
+        let o = &self.ops[op];
+        if !self.guard_taken[iter as usize][o.stmt] {
+            if !self.fake_tokens {
+                // The op sends nothing at all: the iteration can never
+                // complete at the frontier (the §V-C deadlock).
+                let mut next = st.clone();
+                next.issued[op] = iter + 1;
+                let event = self.event(op, iter, EventKind::Skip, None, 0, None);
+                return StepOutcome::Stepped { next: Box::new(next), event, squash: false, reduction_escape: false };
+            }
+            if !st.proto.can_admit(iter, self.ports, 0) {
+                return StepOutcome::BlockedAdmission;
+            }
+            let mut next = st.clone();
+            next.proto.note_admitted(iter);
+            next.proto
+                .record_arrival(PrematureRecord::fake(op, o.kind, Tag::new(iter), o.seq));
+            next.issued[op] = iter + 1;
+            self.housekeeping(&mut next);
+            let event = self.event(op, iter, EventKind::Fake, None, 0, None);
+            return StepOutcome::Stepped { next: Box::new(next), event, squash: false, reduction_escape: false };
+        }
+        if self.operands(op).any(|q| st.issued[q] <= iter) {
+            return StepOutcome::BlockedOperand;
+        }
+        if !st.proto.can_admit(iter, self.ports, 0) {
+            return StepOutcome::BlockedAdmission;
+        }
+        let (addr, value) = self.evaluate(st, op, iter);
+        let mut rec = PrematureRecord::real(op, o.kind, Tag::new(iter), o.seq, addr, value);
+        let verdict = if self.validated.contains(&op) {
+            self.arbiter.verdict(&st.proto.queue, &rec)
+        } else {
+            Verdict::Clean
+        };
+        let mut next = st.clone();
+        next.proto.note_admitted(iter);
+        next.issued[op] = iter + 1;
+        let mut reduction_escape = false;
+        let event = match verdict {
+            Verdict::Clean => {
+                next.proto.record_arrival(rec);
+                self.event(op, iter, EventKind::Arrive, Some(addr), value, None)
+            }
+            Verdict::Forward(v) => {
+                rec.value = v;
+                next.proto.record_arrival(rec);
+                self.event(op, iter, EventKind::Forward, Some(addr), v, None)
+            }
+            Verdict::Squash(viol) => {
+                // The §V-B reduction exempts this op from validation; a
+                // squash verdict here is one the reduced set would miss.
+                reduction_escape =
+                    self.cfg.pair_reduction && !self.reduced.contains(&op);
+                next.proto.record_arrival(rec);
+                next.proto.flush(viol.from_iter);
+                for i in next.issued.iter_mut() {
+                    *i = (*i).min(viol.from_iter);
+                }
+                self.event(op, iter, EventKind::Squash, Some(addr), value, Some(viol.from_iter))
+            }
+        };
+        let squash = event.kind == EventKind::Squash;
+        self.housekeeping(&mut next);
+        StepOutcome::Stepped { next: Box::new(next), event, squash, reduction_escape }
+    }
+
+    fn classify(&self, st: &McState, blocked: &[(usize, u64)]) -> DeadCause {
+        let f = st.proto.frontier;
+        if f < self.bound {
+            for op in 0..self.ops.len() {
+                if st.issued[op] > f && !st.proto.port_op_arrived(op, f) {
+                    return DeadCause::MissingToken { op, iter: f };
+                }
+            }
+        }
+        if let Some(&(op, iter)) = blocked.first() {
+            return DeadCause::Wedge { op, iter };
+        }
+        DeadCause::Stuck
+    }
+
+    fn trace_to(&self, parent: &[Option<(usize, TraceEvent)>], mut i: usize) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        while let Some((p, ev)) = &parent[i] {
+            events.push(ev.clone());
+            i = *p;
+        }
+        events.reverse();
+        events
+    }
+
+    /// Regenerates the event of explored edge `x -> y` (edges only store
+    /// the target and squash flag, to keep memory bounded).
+    fn event_for_edge(&self, states: &[McState], x: usize, y: usize) -> TraceEvent {
+        let want = states[y].key();
+        for op in 0..self.ops.len() {
+            if let StepOutcome::Stepped { next, event, .. } = self.try_step(&states[x], op) {
+                if next.key() == want {
+                    return event;
+                }
+            }
+        }
+        unreachable!("explored edge has a generating transition")
+    }
+
+    fn explore(&self) -> CheckResult {
+        let mut init = self.initial();
+        self.housekeeping(&mut init);
+
+        let mut states = vec![init];
+        let mut key_ix: HashMap<StateKey, usize> = HashMap::new();
+        key_ix.insert(states[0].key(), 0);
+        let mut parent: Vec<Option<(usize, TraceEvent)>> = vec![None];
+        let mut edges: Vec<Vec<(usize, bool)>> = vec![Vec::new()];
+        let mut squash_edges: Vec<(usize, usize)> = Vec::new();
+        let mut bfs = VecDeque::from([0usize]);
+
+        let mut complete = true;
+        let mut deadlock: Option<(usize, DeadCause)> = None;
+        let mut escape: Option<(usize, TraceEvent)> = None;
+
+        while let Some(i) = bfs.pop_front() {
+            let st = states[i].clone();
+            let mut any = false;
+            let mut blocked: Vec<(usize, u64)> = Vec::new();
+            for op in 0..self.ops.len() {
+                match self.try_step(&st, op) {
+                    StepOutcome::Stepped { next, event, squash, reduction_escape } => {
+                        any = true;
+                        if reduction_escape && escape.is_none() {
+                            escape = Some((i, event.clone()));
+                        }
+                        let k = next.key();
+                        let j = *key_ix.entry(k).or_insert_with(|| {
+                            states.push(*next);
+                            parent.push(Some((i, event)));
+                            edges.push(Vec::new());
+                            bfs.push_back(states.len() - 1);
+                            states.len() - 1
+                        });
+                        edges[i].push((j, squash));
+                        if squash {
+                            squash_edges.push((i, j));
+                        }
+                    }
+                    StepOutcome::BlockedAdmission => blocked.push((op, st.issued[op])),
+                    StepOutcome::BlockedOperand | StepOutcome::Exhausted => {}
+                }
+            }
+            if !any && deadlock.is_none() && !self.is_success(&st) {
+                deadlock = Some((i, self.classify(&st, &blocked)));
+            }
+            if self.is_success(&st) {
+                debug_assert_eq!(
+                    st.ram, self.expected_ram,
+                    "a completed interleaving must match the sequential semantics"
+                );
+            }
+            if states.len() > self.max_states {
+                complete = false;
+                break;
+            }
+        }
+
+        let mut report = Report::default();
+        let mut counterexamples = Vec::new();
+
+        if self.truncated {
+            report.push(Diagnostic::note(
+                Code::ProtocolBound,
+                format!(
+                    "protocol checked for the first {} of {} iterations (soundness horizon; raise with --mc-depth)",
+                    self.bound,
+                    self.spec.iteration_count()
+                ),
+            ));
+        }
+        if !complete {
+            report.push(
+                Diagnostic::warning(
+                    Code::ProtocolBound,
+                    format!(
+                        "state cap of {} reached before exhausting the space: PV201–PV204 verdicts are incomplete",
+                        self.max_states
+                    ),
+                )
+                .with_help("raise --mc-states or lower --mc-depth"),
+            );
+        }
+
+        if let Some((i, cause)) = deadlock {
+            let events = self.trace_to(&parent, i);
+            let resident = states[i].proto.queue.len();
+            let (diag, code) = match cause {
+                DeadCause::MissingToken { op, iter } => (
+                    Diagnostic::error(
+                        Code::ProtocolDeadlock,
+                        format!(
+                            "reachable protocol deadlock: iteration {iter} never completes — {}#{op} sends no token when its guard is false",
+                            self.labels[op]
+                        ),
+                    )
+                    .with_span(self.spans[op])
+                    .with_help(format!(
+                        "{}\n{resident} unretired record(s) wait on the frontier; enable fake tokens (§V-C) so untaken guards still drain the queue",
+                        render_events(&events, None)
+                    )),
+                    Code::ProtocolDeadlock,
+                ),
+                DeadCause::Wedge { op, iter } => (
+                    Diagnostic::error(
+                        Code::QueueWedge,
+                        format!(
+                            "premature queue wedge: depth {} cannot admit {}#{op} of iteration {iter} on some interleaving",
+                            self.cfg.depth, self.labels[op]
+                        ),
+                    )
+                    .with_span(self.spans[op])
+                    .with_help(format!(
+                        "{}\nthe admission reservation needs free slots > outstanding older ops; depth must be at least mem-ops-per-iteration (= {}), configured depth is {}",
+                        render_events(&events, None),
+                        self.ports,
+                        self.cfg.depth
+                    )),
+                    Code::QueueWedge,
+                ),
+                DeadCause::Stuck => (
+                    Diagnostic::error(
+                        Code::ProtocolDeadlock,
+                        format!(
+                            "reachable protocol deadlock: no transition enabled with {resident} unretired record(s)"
+                        ),
+                    )
+                    .with_help(render_events(&events, None)),
+                    Code::ProtocolDeadlock,
+                ),
+            };
+            report.push(diag);
+            counterexamples.push(Counterexample { code, events, cycle_from: None });
+        }
+
+        // PV202: a squash edge inside a strongly connected component is a
+        // cycle replaying the same iteration with zero frontier progress
+        // (the frontier and commit cursor are monotone, so any cycle holds
+        // them constant).
+        let comp = sccs(&edges);
+        if let Some(&(u, v)) = squash_edges.iter().find(|&&(u, v)| comp[u] == comp[v]) {
+            let mut events = self.trace_to(&parent, u);
+            let cycle_from = events.len();
+            let squash_ev = self.event_for_edge(&states, u, v);
+            let from = squash_ev.squash_from.unwrap_or(squash_ev.iter);
+            events.push(squash_ev);
+            for (x, y) in path_in_scc(&edges, &comp, v, u) {
+                events.push(self.event_for_edge(&states, x, y));
+            }
+            report.push(
+                Diagnostic::error(
+                    Code::SquashLivelock,
+                    format!(
+                        "squash livelock: iteration {from} can be squashed and replayed forever without frontier progress (reachable cycle of {} event(s))",
+                        events.len() - cycle_from
+                    ),
+                )
+                .with_span(events[cycle_from].span)
+                .with_help(format!(
+                    "{}\nenable forwarding (queue bypass) so replayed loads take the resident store's value instead of re-squashing",
+                    render_events(&events, Some(cycle_from))
+                )),
+            );
+            counterexamples.push(Counterexample {
+                code: Code::SquashLivelock,
+                events,
+                cycle_from: Some(cycle_from),
+            });
+        }
+
+        if let Some((i, ev)) = escape {
+            let mut events = self.trace_to(&parent, i);
+            events.push(ev.clone());
+            report.push(
+                Diagnostic::warning(
+                    Code::ReductionUnsound,
+                    format!(
+                        "§V-B pair reduction is unsound here: eliminated {}#{} reaches a squash verdict its run representative cannot observe",
+                        self.labels[ev.op], ev.op
+                    ),
+                )
+                .with_span(ev.span)
+                .with_help(format!(
+                    "{}\nkeep Eq. 11–12 reduction for area estimation only; the arbiter must validate the full ambiguous set for this kernel",
+                    render_events(&events, None)
+                )),
+            );
+            counterexamples.push(Counterexample {
+                code: Code::ReductionUnsound,
+                events,
+                cycle_from: None,
+            });
+        }
+
+        CheckResult {
+            report,
+            counterexamples,
+            states: states.len(),
+            complete,
+            bound: self.bound,
+        }
+    }
+}
+
+fn render_events(events: &[TraceEvent], cycle_from: Option<usize>) -> String {
+    Counterexample {
+        code: Code::ProtocolBound,
+        events: events.to_vec(),
+        cycle_from,
+    }
+    .render()
+}
+
+/// Guards are validated affine (no loads, no opaque calls).
+fn eval_affine(e: &Expr, row: &[Value]) -> Value {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::IndVar(l) => row[*l],
+        Expr::Binary(op, l, r) => op.apply(eval_affine(l, row), eval_affine(r, row)),
+        Expr::Load(..) | Expr::Opaque(..) => unreachable!("guards are validated affine"),
+    }
+}
+
+/// The sequential (golden) RAM image after the bounded prefix of
+/// iterations — what every successful interleaving must produce.
+fn sequential_ram(
+    spec: &KernelSpec,
+    bases: &[usize],
+    init: &[Value],
+    rows: &[Vec<Value>],
+    guard_taken: &[Vec<bool>],
+) -> Vec<Value> {
+    fn eval(spec: &KernelSpec, bases: &[usize], e: &Expr, row: &[Value], ram: &[Value]) -> Value {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::IndVar(l) => row[*l],
+            Expr::Load(a, idx) => {
+                let raw = eval(spec, bases, idx, row, ram);
+                ram[bases[a.0] + spec.resolve_index(*a, raw)]
+            }
+            Expr::Binary(op, l, r) => {
+                op.apply(eval(spec, bases, l, row, ram), eval(spec, bases, r, row, ram))
+            }
+            Expr::Opaque(f, x) => f.apply(eval(spec, bases, x, row, ram)),
+        }
+    }
+    let mut ram = init.to_vec();
+    for (it, row) in rows.iter().enumerate() {
+        for (si, stmt) in spec.body.iter().enumerate() {
+            if !guard_taken[it][si] {
+                continue;
+            }
+            let raw = eval(spec, bases, &stmt.index, row, &ram);
+            let value = eval(spec, bases, &stmt.value, row, &ram);
+            ram[bases[stmt.array.0] + spec.resolve_index(stmt.array, raw)] = value;
+        }
+    }
+    ram
+}
+
+/// Iterative Tarjan SCC over the explored graph; returns the component id
+/// of every node. Self-loops form (cyclic) singleton components, which the
+/// squash-edge test `comp[u] == comp[v]` classifies correctly.
+fn sccs(edges: &[Vec<(usize, bool)>]) -> Vec<usize> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut ncomp = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for s in 0..n {
+        if index[s] != usize::MAX {
+            continue;
+        }
+        call.push((s, 0));
+        'outer: while let Some((v, ei)) = call.pop() {
+            if ei == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on[v] = true;
+            }
+            let mut i = ei;
+            while i < edges[v].len() {
+                let w = edges[v][i].0;
+                i += 1;
+                if index[w] == usize::MAX {
+                    call.push((v, i));
+                    call.push((w, 0));
+                    continue 'outer;
+                }
+                if on[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if low[v] == index[v] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack");
+                    on[w] = false;
+                    comp[w] = ncomp;
+                    if w == v {
+                        break;
+                    }
+                }
+                ncomp += 1;
+            }
+            if let Some(&(u, _)) = call.last() {
+                low[u] = low[u].min(low[v]);
+            }
+        }
+    }
+    comp
+}
+
+/// Shortest edge path from `from` to `to` staying inside their SCC
+/// (empty when `from == to`, e.g. a squash self-loop).
+fn path_in_scc(
+    edges: &[Vec<(usize, bool)>],
+    comp: &[usize],
+    from: usize,
+    to: usize,
+) -> Vec<(usize, usize)> {
+    if from == to {
+        return Vec::new();
+    }
+    let c = comp[from];
+    let mut prev: HashMap<usize, usize> = HashMap::new();
+    let mut q = VecDeque::from([from]);
+    while let Some(x) = q.pop_front() {
+        if x == to {
+            break;
+        }
+        for &(y, _) in &edges[x] {
+            if comp[y] == c && y != from && !prev.contains_key(&y) {
+                prev.insert(y, x);
+                q.push_back(y);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let p = prev[&cur];
+        path.push((p, cur));
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prevv_dataflow::components::LoopLevel;
+    use prevv_ir::{ArrayDecl, ArrayId, Expr, OpaqueFn, Stmt};
+
+    fn parse(name: &str, src: &str) -> KernelSpec {
+        prevv_ir::parse::parse_kernel(name, src).expect("parses")
+    }
+
+    fn codes(r: &CheckResult) -> Vec<Code> {
+        r.counterexamples.iter().map(|c| c.code).collect()
+    }
+
+    #[test]
+    fn clean_unambiguous_kernel_proves_all_properties() {
+        let spec = parse(
+            "inc",
+            "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] += 1; }\n",
+        );
+        let r = check(&spec, &ProtocolOptions::default()).expect("checks");
+        assert!(r.is_clean(), "unexpected counterexamples: {:?}", codes(&r));
+        assert!(r.complete);
+        assert!(r.states > 1);
+    }
+
+    #[test]
+    fn raw_hazard_kernel_is_clean_with_forwarding() {
+        // Paper Fig. 2(a): runtime-dependent RAW hazards between iterations.
+        let spec = parse(
+            "fig2a",
+            "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[b[i]] += 1;\n  b[i] += 2;\n}\n",
+        );
+        let r = check(&spec, &ProtocolOptions::default()).expect("checks");
+        assert!(r.is_clean(), "unexpected counterexamples: {:?}", codes(&r));
+        assert!(r.complete, "explored {} states", r.states);
+    }
+
+    #[test]
+    fn pv201_missing_fake_tokens_deadlocks() {
+        let spec = parse(
+            "guarded",
+            "int acc[4];\nfor (int i = 0; i < 8; ++i) {\n  if (i % 2 == 0) acc[0] += i;\n}\n",
+        );
+        let opts = ProtocolOptions {
+            fake_tokens: false,
+            ..ProtocolOptions::default()
+        };
+        let r = check(&spec, &opts).expect("checks");
+        assert_eq!(r.report.with_code(Code::ProtocolDeadlock).len(), 1);
+        let cex = &r.counterexamples[0];
+        assert_eq!(cex.code, Code::ProtocolDeadlock);
+        assert!(!cex.events.is_empty());
+        assert!(cex.events.iter().any(|e| e.kind == EventKind::Skip));
+        let outcome = replay(&spec, &opts, cex).expect("trace replays");
+        assert!(outcome.deadlock, "trace must reach the stuck state");
+
+        // With fake tokens the same kernel is clean.
+        let ok = check(&spec, &ProtocolOptions::default()).expect("checks");
+        assert!(ok.is_clean(), "unexpected: {:?}", codes(&ok));
+    }
+
+    #[test]
+    fn pv203_shallow_queue_wedges() {
+        // 3 ops per iteration, depth 2: the reservation can never admit the
+        // whole frontier iteration.
+        let spec = parse(
+            "stencil",
+            "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] = a[i] + a[i + 1]; }\n",
+        );
+        let mut opts = ProtocolOptions::default();
+        opts.config.depth = 2;
+        let r = check(&spec, &opts).expect("checks");
+        assert_eq!(r.report.with_code(Code::QueueWedge).len(), 1);
+        let cex = &r.counterexamples[0];
+        assert_eq!(cex.code, Code::QueueWedge);
+        assert!(cex.events.len() <= 25, "trace too long: {}", cex.events.len());
+        let outcome = replay(&spec, &opts, cex).expect("trace replays");
+        assert!(outcome.deadlock && outcome.admission_blocked);
+
+        // Depth >= ops/iter admits the frontier iteration: no wedge.
+        opts.config.depth = 3;
+        let ok = check(&spec, &opts).expect("checks");
+        assert!(ok.report.with_code(Code::QueueWedge).is_empty());
+    }
+
+    #[test]
+    fn pv202_squash_livelock_without_forwarding() {
+        // A loop-carried accumulation plus an independent statement that
+        // keeps iterations incomplete: with forwarding off, the replayed
+        // load re-reads stale RAM and re-squashes forever.
+        let spec = parse(
+            "livelock",
+            "int a[4];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[0] += 1;\n  b[i] += 2;\n}\n",
+        );
+        let mut opts = ProtocolOptions::default();
+        opts.config.forwarding = false;
+        let r = check(&spec, &opts).expect("checks");
+        assert_eq!(r.report.with_code(Code::SquashLivelock).len(), 1);
+        let cex = r
+            .counterexamples
+            .iter()
+            .find(|c| c.code == Code::SquashLivelock)
+            .expect("livelock counterexample");
+        let k = cex.cycle_from.expect("cycle marker");
+        assert!(cex.events.len() <= 25);
+        assert!(cex.events[k..].iter().any(|e| e.kind == EventKind::Squash));
+        let outcome = replay(&spec, &opts, cex).expect("trace replays");
+        assert!(outcome.cycle_closed, "the livelock cycle must close");
+
+        // Forwarding (queue bypass) converges the replay: clean.
+        let ok = check(&spec, &ProtocolOptions::default()).expect("checks");
+        assert!(ok.is_clean(), "unexpected: {:?}", codes(&ok));
+    }
+
+    #[test]
+    fn pv204_reduction_escape_on_eliminated_store() {
+        // Two consecutive ambiguous stores to `a`: Eq. 11-12 keeps the
+        // last as representative. An opaque-indexed load later in program
+        // order can be flagged by the *eliminated* first store.
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let spec = KernelSpec::new(
+            "reduced",
+            vec![LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 4), ArrayDecl::zeroed("b", 8)],
+            vec![
+                Stmt::store(a, Expr::lit(0), Expr::lit(5)),
+                Stmt::store(a, Expr::lit(1), Expr::lit(7)),
+                Stmt::store(b, Expr::var(0), Expr::load(a, Expr::var(0).opaque(OpaqueFn::new(3, 1)))),
+            ],
+        )
+        .expect("valid");
+        let r = check(&spec, &ProtocolOptions::default()).expect("checks");
+        let escapes = r.report.with_code(Code::ReductionUnsound);
+        assert_eq!(escapes.len(), 1, "diagnostics: {:?}", r.report.diagnostics);
+        let cex = r
+            .counterexamples
+            .iter()
+            .find(|c| c.code == Code::ReductionUnsound)
+            .expect("PV204 counterexample");
+        assert!(matches!(cex.events.last(), Some(e) if e.kind == EventKind::Squash));
+        // With pair reduction disabled the finding disappears.
+        let mut opts = ProtocolOptions::default();
+        opts.config.pair_reduction = false;
+        let off = check(&spec, &opts).expect("checks");
+        assert!(off.report.with_code(Code::ReductionUnsound).is_empty());
+    }
+
+    #[test]
+    fn bounded_runs_note_the_horizon() {
+        let spec = parse(
+            "long",
+            "int a[4];\nfor (int i = 0; i < 64; ++i) { a[i] += 1; }\n",
+        );
+        let r = check(&spec, &ProtocolOptions::default()).expect("checks");
+        assert_eq!(r.bound, DEFAULT_ITERATION_BOUND);
+        assert_eq!(r.report.with_code(Code::ProtocolBound).len(), 1);
+        assert!(r.is_clean());
+    }
+}

@@ -1,13 +1,17 @@
 //! Symbolic dependence engine — GCD and Banerjee-bounds tests over affine
-//! index expressions.
+//! index expressions. **This module is the one documented entry point**;
+//! the implementation lives in `prevv_ir::symdep` only to break a crate
+//! cycle (the dependence pass [`prevv_ir::depend`] needs it as a fast
+//! path, and this crate depends on `prevv-ir`, not vice versa). Downstream
+//! code — lints, the model checker, external tools — should import from
+//! `prevv_analyze::symdep` and treat the `prevv_ir` path as private
+//! plumbing.
 //!
-//! The engine itself lives in `prevv_ir::symdep` so that the dependence
-//! pass ([`prevv_ir::depend`]) can use it as its fast path without a
-//! dependency cycle (this crate depends on `prevv-ir`, not vice versa);
-//! this module re-exports it under the analyzer's namespace because it is
-//! analyzer machinery: PV001 uses [`AffineForm::range`] to bound indices
-//! over unenumerable iteration spaces, and PV004's bypass notes are backed
-//! by [`classify_accesses`] verdicts.
+//! It is analyzer machinery through and through: PV001 uses
+//! [`AffineForm::range`] to bound indices over unenumerable iteration
+//! spaces, PV004's bypass notes are backed by [`classify_accesses`]
+//! verdicts, and the PV2xx model checker's §V-B reduction set is computed
+//! against the same [`PairClass`] proofs.
 //!
 //! The contract is one-sided: a [`PairClass::Disjoint`] or
 //! [`PairClass::SameIterationOnly`] verdict is a *proof*, while
@@ -16,6 +20,32 @@
 //! stays conservative. The property tests in `tests/analyzer_properties.rs`
 //! hold the engine to exactly this contract against the enumerating oracle.
 
-pub use prevv_ir::symdep::{
-    classify_accesses, classify_pair, rect_bounds, AffineForm, PairClass,
-};
+/// An affine combination of induction variables plus a constant,
+/// `Σ coeffs[k]·i_k + constant`, extracted from an index [`prevv_ir::Expr`]
+/// by [`AffineForm::from_expr`]. The envelope returned by
+/// [`AffineForm::range`] is exact over rectangular iteration spaces.
+#[doc(alias = "affine")]
+#[doc(alias = "linear-index")]
+pub use prevv_ir::symdep::AffineForm;
+
+/// The three-valued dependence verdict: `Disjoint` and `SameIterationOnly`
+/// are proofs, `Unknown` is an abstention.
+#[doc(alias = "dependence")]
+#[doc(alias = "alias-analysis")]
+pub use prevv_ir::symdep::PairClass;
+
+/// Classifies one pair of affine accesses via the GCD test and the
+/// Banerjee bounds over the given rectangular iteration bounds.
+#[doc(alias = "GCD")]
+#[doc(alias = "banerjee")]
+pub use prevv_ir::symdep::classify_pair;
+
+/// Classifies a load/store access pair straight from kernel expressions,
+/// falling back to [`PairClass::Unknown`] when either index is non-affine.
+#[doc(alias = "classify")]
+pub use prevv_ir::symdep::classify_accesses;
+
+/// The rectangular iteration-space bounds of a loop nest, if every level
+/// is affine-bounded; the common precondition of the tests above.
+#[doc(alias = "iteration-space")]
+pub use prevv_ir::symdep::rect_bounds;

@@ -19,6 +19,7 @@ use prevv::{Controller, Lsq, LsqConfig, MemTiming, PrevvConfig, PrevvMemory};
 struct Args {
     path: String,
     controller: Controller,
+    protocol: bool,
     dot: Option<String>,
     vcd: Option<String>,
 }
@@ -26,7 +27,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: runkernel <file.pvk> [--controller direct|dynamatic16|fast16|prevv<depth>] \
-         [--dot <out.dot>] [--vcd <out.vcd>]"
+         [--protocol] [--dot <out.dot>] [--vcd <out.vcd>]"
     );
     std::process::exit(2);
 }
@@ -35,10 +36,12 @@ fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut controller = Controller::Prevv(PrevvConfig::prevv16());
+    let mut protocol = false;
     let mut dot = None;
     let mut vcd = None;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--protocol" => protocol = true,
             "--controller" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 controller = match v.as_str() {
@@ -60,6 +63,7 @@ fn parse_args() -> Args {
     Args {
         path: path.unwrap_or_else(|| usage()),
         controller,
+        protocol,
         dot,
         vcd,
     }
@@ -102,6 +106,38 @@ fn main() {
     if lint.has_errors() {
         eprintln!("refusing to synthesize: static analysis reported errors");
         std::process::exit(1);
+    }
+
+    // PV2xx bounded model checking of the abstract premature-queue /
+    // arbiter / squash protocol (opt-in: exhaustive exploration is far more
+    // expensive than the static lints). Runs against the same controller
+    // configuration the simulation will attach.
+    if args.protocol {
+        let popts = match &args.controller {
+            Controller::Prevv(cfg) => prevv::analyze::ProtocolOptions::for_config(cfg),
+            _ => prevv::analyze::ProtocolOptions::default(),
+        };
+        match prevv::analyze::check_protocol(&spec, &popts) {
+            Ok(result) => {
+                println!(
+                    "protocol: explored {} abstract state(s), horizon {} iteration(s){}",
+                    result.states,
+                    result.bound,
+                    if result.complete { "" } else { " (truncated)" }
+                );
+                if !result.report.is_empty() {
+                    println!("{}", result.report.render(&args.path, Some(&source)));
+                }
+                if result.report.has_errors() {
+                    eprintln!("refusing to simulate: protocol model checker reported errors");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("protocol model checker could not run: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let mut synth = match prevv::ir::synthesize(&spec) {

@@ -131,16 +131,30 @@ impl Arbiter {
         }
         self.stats.validations += 1;
         self.stats.comparisons += queue.len() as u64;
-        let verdict = match arriving.kind {
-            MemOpKind::Store => self.validate_store(queue, arriving),
-            MemOpKind::Load => self.validate_load(queue, arriving),
-        };
+        let verdict = self.verdict(queue, arriving);
         match verdict {
             Verdict::Squash { .. } => self.stats.violations += 1,
             Verdict::Forward(_) => self.stats.forwards += 1,
             Verdict::Clean => {}
         }
         verdict
+    }
+
+    /// The pure violation test (paper Eq. 2–5): the verdict for `arriving`
+    /// against the resident queue, with no statistics, no port filter and no
+    /// fake shortcut — exactly the comparator network, usable by callers
+    /// (such as the `prevv-analyze` model checker) that enumerate verdicts
+    /// without simulating. [`Self::validate`] is the simulator-facing wrapper
+    /// that applies the §V-B port exemptions and counts the work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arriving` is a fake record (fakes carry no address).
+    pub fn verdict(&self, queue: &PrematureQueue, arriving: &PrematureRecord) -> Verdict {
+        match arriving.kind {
+            MemOpKind::Store => self.validate_store(queue, arriving),
+            MemOpKind::Load => self.validate_load(queue, arriving),
+        }
     }
 
     /// Paper Eq. 2–5: an arriving store flags every resident

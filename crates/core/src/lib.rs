@@ -15,6 +15,10 @@
 //!   buffer and Eq. 1 property assembly;
 //! * [`Arbiter`] — the Eq. 2–5 violation test (with the symmetric check and
 //!   youngest-store matching; see DESIGN.md §4);
+//! * [`ProtocolState`] — the pure retirement protocol (frontier, in-order
+//!   commit, admission reservation, squash flush) as cloneable step
+//!   functions, shared verbatim by the simulator and the `prevv-analyze`
+//!   bounded model checker;
 //! * [`PrevvMemory`] — the drop-in controller replacing
 //!   [`prevv_mem::Lsq`] behind the same memory interface;
 //! * [`reduce`] — the §V-B pair-reduction analysis (Eq. 11–12);
@@ -54,15 +58,17 @@
 mod arbiter;
 mod config;
 mod memory;
+pub mod protocol;
 mod queue;
 mod record;
 pub mod reduce;
 pub mod sizing;
 
-pub use arbiter::{Arbiter, ArbiterStats, Verdict};
+pub use arbiter::{Arbiter, ArbiterStats, Verdict, Violation};
 pub use config::PrevvConfig;
 pub use memory::{
     PrevvError, PrevvMemory, PrevvStats, SharedPrevvStats, SharedSquashLog, SquashEvent,
 };
+pub use protocol::{CommitStep, ProtocolState};
 pub use queue::{PrematureQueue, QueueState};
 pub use record::PrematureRecord;

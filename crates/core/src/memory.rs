@@ -27,7 +27,7 @@
 //!   the sizing experiments sweep.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use prevv_dataflow::{Component, Ports, Signals, SquashBus, Tag, Token};
@@ -36,7 +36,7 @@ use prevv_mem::{shared, DelayLine, PortIo, Ram, SharedRam};
 
 use crate::arbiter::{Arbiter, Verdict, Violation};
 use crate::config::PrevvConfig;
-use crate::queue::PrematureQueue;
+use crate::protocol::{CommitStep, ProtocolState};
 use crate::record::PrematureRecord;
 
 /// Aggregate statistics of a PreVV run, shared with the harness.
@@ -135,22 +135,14 @@ pub struct PrevvMemory {
     ram: SharedRam,
     config: PrevvConfig,
     bus: SquashBus,
-    queue: PrematureQueue,
+    /// The pure protocol state machine: premature queue, frontier, commit
+    /// cursor, and admission reservation — the exact transition functions
+    /// the `prevv-analyze` model checker explores (see `protocol.rs`).
+    protocol: ProtocolState,
     arbiter: Arbiter,
     reads: DelayLine<PendingLoad>,
-    /// Arrived-op counts per iteration (real + fake), for the frontier.
-    arrived: BTreeMap<u64, u32>,
-    /// Admitted-op counts per iteration (arrived + loads in flight): used by
-    /// the admission reservation that keeps the queue deadlock-free.
-    admitted: BTreeMap<u64, u32>,
     /// Round-robin start port for input processing fairness.
     rr_start: usize,
-    /// All iterations below this have fully arrived; their records can
-    /// retire and their stores commit.
-    frontier: u64,
-    /// Global store-slot commit cursor: `cursor / stores_per_iter` is the
-    /// iteration, `cursor % stores_per_iter` indexes `store_seqs`.
-    next_commit: u64,
     /// ROM-sequence numbers of the store ports, ascending.
     store_seqs: Vec<u32>,
     ports_per_iter: u32,
@@ -223,14 +215,10 @@ impl PrevvMemory {
                 ram: ram.clone(),
                 config,
                 bus,
-                queue: PrematureQueue::new(depth),
+                protocol: ProtocolState::new(depth),
                 arbiter: Arbiter::new(validated, forwarding),
                 reads: DelayLine::new(),
-                arrived: BTreeMap::new(),
-                admitted: BTreeMap::new(),
                 rr_start: 0,
-                frontier: 0,
-                next_commit: 0,
                 store_seqs,
                 ports_per_iter,
                 conservative: HashSet::new(),
@@ -251,7 +239,7 @@ impl PrevvMemory {
 
     /// The premature queue's current occupancy (for sizing experiments).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.protocol.queue.len()
     }
 
     /// Shared handle to the squash event log: every violation the arbiter
@@ -269,15 +257,15 @@ impl PrevvMemory {
         let _ = writeln!(
             s,
             "frontier={} next_commit={} free={} reads_inflight={}",
-            self.frontier,
-            self.next_commit,
+            self.protocol.frontier,
+            self.protocol.next_commit,
             self.free_slots(),
             self.reads.len()
         );
         let _ = writeln!(s, "predictor={:?}", self.predictor);
-        let _ = writeln!(s, "arrived={:?}", self.arrived);
+        let _ = writeln!(s, "arrived={:?}", self.protocol.arrived);
         let _ = write!(s, "queue: ");
-        for r in self.queue.iter() {
+        for r in self.protocol.queue.iter() {
             let _ = write!(
                 s,
                 "[p{} i{} s{} {:?}{}{}] ",
@@ -293,47 +281,23 @@ impl PrevvMemory {
     }
 
     fn free_slots(&self) -> usize {
-        self.queue
-            .depth()
-            .saturating_sub(self.queue.len() + self.reads.len())
+        self.protocol.free_slots(self.reads.len())
     }
 
-    /// Ops of iterations in `[frontier, iter)` that have not been admitted
-    /// yet. They will all need queue slots, and the frontier (hence
-    /// retirement) cannot advance without them.
-    fn outstanding_before(&self, iter: u64) -> usize {
-        if iter <= self.frontier {
-            // Ops of complete iterations never re-arrive; guard anyway so a
-            // malformed driver cannot panic the range query below.
-            return 0;
-        }
-        let per = u64::from(self.ports_per_iter);
-        let range_iters = iter - self.frontier;
-        let already: u64 = self
-            .admitted
-            .range(self.frontier..iter)
-            .map(|(_, &n)| u64::from(n))
-            .sum();
-        (range_iters * per).saturating_sub(already) as usize
-    }
-
-    /// Deadlock-free admission: an op of `iter` may take a queue slot only
-    /// if every not-yet-admitted op of an *older* iteration still has a
-    /// reserved slot afterwards. Without this reservation a queue full of
-    /// young records would block the very arrivals the frontier waits for
-    /// (the same failure shape as the paper's §V-C deadlock, but caused by
-    /// capacity rather than guards).
+    /// Deadlock-free admission (see [`ProtocolState::can_admit`]): loads in
+    /// flight to RAM hold reservations too.
     fn can_admit(&self, iter: u64) -> bool {
-        self.free_slots() > self.outstanding_before(iter)
+        self.protocol
+            .can_admit(iter, self.ports_per_iter, self.reads.len())
     }
 
     fn note_admitted(&mut self, iter: u64) {
-        *self.admitted.entry(iter).or_insert(0) += 1;
+        self.protocol.note_admitted(iter);
     }
 
     /// Validates, applies the verdict, inserts, and counts one arrival.
     fn insert(&mut self, mut rec: PrematureRecord) {
-        match self.arbiter.validate(&self.queue, &rec) {
+        match self.arbiter.validate(&self.protocol.queue, &rec) {
             Verdict::Clean => {}
             Verdict::Forward(v) => {
                 rec.value = v;
@@ -370,8 +334,7 @@ impl PrevvMemory {
             self.io.push_result(rec.port, Token::tagged(rec.value, rec.tag));
         }
         self.max_arrived_iter = self.max_arrived_iter.max(rec.iter);
-        *self.arrived.entry(rec.iter).or_insert(0) += 1;
-        self.queue.push(rec);
+        self.protocol.record_arrival(rec);
     }
 
     fn process_read_completions(&mut self) -> u32 {
@@ -432,40 +395,26 @@ impl PrevvMemory {
         })
     }
 
-    /// Exact per-port arrival check: every arrived record of iterations at
-    /// or beyond the frontier is still resident (loads retire only below
-    /// the frontier, stores only after commit, which requires the same), so
-    /// residency plus the frontier decides arrival precisely. A simple
-    /// high-water mark would be wrong here: a *fake* of a later iteration
-    /// can arrive before an earlier iteration's real op.
+    /// Exact per-port arrival check (see [`ProtocolState::port_op_arrived`]).
     fn port_op_arrived(&self, port: usize, iter: u64) -> bool {
-        iter < self.frontier || self.queue.iter().any(|r| r.port == port && r.iter == iter)
+        self.protocol.port_op_arrived(port, iter)
     }
 
-    /// Issue-time bypass probe: the value of the youngest resident older
-    /// store to `addr`, if any. Saves the RAM round-trip (and its port
-    /// bandwidth) whenever the producer store has already arrived — the
-    /// latency equivalent of the LSQ's store-to-load forwarding.
-    fn resident_bypass(&self, addr: usize, order: (u64, u32)) -> Option<(prevv_dataflow::Value, u64)> {
-        self.queue
-            .iter()
-            .filter(|s| {
-                !s.fake
-                    && s.kind == MemOpKind::Store
-                    && s.addr == Some(addr)
-                    && s.order() < order
-            })
-            .max_by_key(|s| s.order())
-            .map(|s| (s.value, s.iter))
+    /// Issue-time bypass probe (see [`ProtocolState::resident_bypass`]):
+    /// saves the RAM round-trip (and its port bandwidth) whenever the
+    /// producer store has already arrived — the latency equivalent of the
+    /// LSQ's store-to-load forwarding.
+    fn resident_bypass(
+        &self,
+        addr: usize,
+        order: (u64, u32),
+    ) -> Option<(prevv_dataflow::Value, u64)> {
+        self.protocol.resident_bypass(addr, order)
     }
 
     /// Iteration of the first uncommitted store slot.
     fn commit_iter(&self) -> u64 {
-        if self.store_seqs.is_empty() {
-            u64::MAX
-        } else {
-            self.next_commit / self.store_seqs.len() as u64
-        }
+        self.protocol.commit_iter(self.store_seqs.len())
     }
 
     fn process_inputs(&mut self, mut budget: u32) {
@@ -605,72 +554,29 @@ impl PrevvMemory {
         // beyond it are about to be flushed and replayed, so they must not
         // become retire- or commit-eligible this cycle.
         let cap = self.pending_squash.unwrap_or(u64::MAX);
-        while self.frontier < cap
-            && self
-                .arrived
-                .get(&self.frontier)
-                .is_some_and(|&n| n >= self.ports_per_iter)
-        {
-            self.arrived.remove(&self.frontier);
-            self.admitted.remove(&self.frontier);
-            self.frontier += 1;
-        }
+        self.protocol.advance_frontier(self.ports_per_iter, cap);
     }
 
     fn commit_stores(&mut self) {
-        if self.store_seqs.is_empty() {
-            return;
-        }
-        let per_iter = self.store_seqs.len() as u64;
         let mut budget = self.config.timing.write_ports;
         loop {
-            let iter = self.next_commit / per_iter;
-            if iter >= self.frontier {
-                break;
-            }
-            let seq = self.store_seqs[(self.next_commit % per_iter) as usize];
-            let Some(rec) = self
-                .queue
-                .iter_mut()
-                .find(|r| r.iter == iter && r.seq == seq)
-            else {
-                // The frontier guarantees arrival; a missing record would be
-                // a retirement bug.
-                debug_assert!(false, "store (iter {iter}, seq {seq}) vanished before commit");
-                break;
-            };
-            if rec.fake {
+            match self.protocol.commit_step(&self.store_seqs, budget > 0) {
+                CommitStep::Write { addr, value } => {
+                    self.ram.borrow_mut().write(addr, value);
+                    self.local.ram_writes += 1;
+                    budget -= 1;
+                }
                 // A fake store consumes its commit slot without touching RAM
                 // (and without write bandwidth); marking it committed lets
                 // the head retire it in order.
-                rec.committed = true;
-                self.next_commit += 1;
-                continue;
+                CommitStep::Fake => {}
+                CommitStep::Blocked => break,
             }
-            if budget == 0 {
-                break;
-            }
-            let addr = rec.addr.expect("real record");
-            let value = rec.value;
-            rec.committed = true;
-            self.ram.borrow_mut().write(addr, value);
-            self.local.ram_writes += 1;
-            self.next_commit += 1;
-            budget -= 1;
         }
     }
 
     fn retire(&mut self) {
-        let frontier = self.frontier;
-        self.queue.retire_if(
-            |r| match r.kind {
-                MemOpKind::Load => r.iter < frontier,
-                // Stores (fake or real) retire once the commit cursor has
-                // consumed their slot.
-                MemOpKind::Store => r.committed,
-            },
-            self.config.retire_per_cycle as usize,
-        );
+        self.protocol.retire(self.config.retire_per_cycle as usize);
     }
 
     fn post_squash(&mut self) {
@@ -695,7 +601,7 @@ impl PrevvMemory {
         s.violations = a.violations;
         // Forwards = issue-time queue bypasses plus arbiter-level forwards.
         s.forwards = a.forwards + self.local.forwards;
-        s.queue_high_water = self.queue.high_water();
+        s.queue_high_water = self.protocol.queue.high_water();
         *self.stats.borrow_mut() = s;
     }
 }
@@ -734,22 +640,19 @@ impl Component for PrevvMemory {
 
     fn flush(&mut self, from_iter: u64) {
         self.io.flush(from_iter);
-        self.queue.flush(from_iter);
         self.reads.flush_if(|p| p.tag.iter >= from_iter);
-        self.arrived.retain(|&iter, _| iter < from_iter);
-        self.admitted.retain(|&iter, _| iter < from_iter);
         // frontier <= from_iter and next_commit target < frontier are
         // invariants (squashes never reach committed state), so neither
-        // cursor moves.
-        debug_assert!(self.frontier <= from_iter);
+        // cursor moves (asserted inside the protocol flush).
+        self.protocol.flush(from_iter);
     }
 
     fn is_idle(&self) -> bool {
-        self.io.is_idle() && self.queue.is_empty() && self.reads.is_empty()
+        self.io.is_idle() && self.protocol.queue.is_empty() && self.reads.is_empty()
     }
 
     fn occupancy(&self) -> usize {
-        self.io.occupancy() + self.queue.len() + self.reads.len()
+        self.io.occupancy() + self.protocol.queue.len() + self.reads.len()
     }
 
     fn capacity(&self) -> usize {

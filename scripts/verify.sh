@@ -45,4 +45,22 @@ lint_must_fail --no-fake-tokens kernels/bad/guarded_nofake.pvk
 lint_must_fail --circuit kernels/bad/undersized_queue.pvk
 lint_must_fail --circuit --controller direct kernels/bad/combinational_loop.pvk
 
+echo "==> protocol model checker (stock kernels must prove PV201-PV204 clean)"
+out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --protocol --format json kernels/*.pvk)
+echo "$out" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+errors = doc["summary"]["errors"]
+nfiles = len(doc["files"])
+if errors:
+    json.dump(doc, sys.stderr, indent=2)
+    sys.exit(f"\nprotocol pass reported {errors} error(s) on stock kernels")
+print(f"    {nfiles} kernels protocol-clean within the exploration bound")
+'
+
+echo "==> protocol model checker (bad fixtures must each fail)"
+lint_must_fail --protocol --no-forwarding kernels/bad/replay_livelock.pvk
+lint_must_fail --protocol --depth 2 kernels/bad/queue_too_small_mc.pvk
+
 echo "verify: OK"

@@ -6,11 +6,13 @@
 use proptest::prelude::*;
 
 use prevv::analyze::symdep::{classify_pair, AffineForm, PairClass};
-use prevv::analyze::{analyze, AnalyzeOptions};
+use prevv::analyze::{
+    analyze, check_protocol, replay_counterexample, AnalyzeOptions, Code, ProtocolOptions,
+};
 use prevv::dataflow::components::LoopLevel;
 use prevv::ir::depend;
 use prevv::ir::{ArrayDecl, ArrayId, BinOp, Expr, KernelSpec, MemOpKind, OpaqueFn, Stmt};
-use prevv::{run_kernel, Controller, PrevvConfig};
+use prevv::{run_kernel, Controller, MemTiming, PrevvConfig};
 
 const ARRAY_LEN: usize = 12;
 
@@ -174,6 +176,112 @@ proptest! {
         let run = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv64()))
             .expect("clean kernels run");
         prop_assert!(run.matches_golden);
+    }
+}
+
+// --- PV2xx model checker vs. the dataflow simulator ---------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Model-checker soundness, re-proved dynamically: whenever the PV2xx
+    /// pass declares a random kernel free of PV201 deadlocks, PV202
+    /// livelocks, and PV203 wedges for a random controller configuration,
+    /// the full dataflow circuit under that exact configuration — with
+    /// randomized memory latencies and validation/retire bandwidths, each
+    /// of which exercises a different arrival interleaving — must run to
+    /// completion (no wedge) and match the golden interpreter.
+    #[test]
+    fn protocol_clean_verdicts_are_confirmed_by_simulation(
+        spec in kernel(),
+        depth in 6usize..=16,
+        forwarding in proptest::arbitrary::any::<bool>(),
+        read_latency in 1u32..=3,
+        write_latency in 1u32..=2,
+        validations_per_cycle in 1u32..=3,
+        retire_per_cycle in 1u32..=3,
+    ) {
+        prop_assume!(!analyze(
+            &spec,
+            &AnalyzeOptions { depth: 64, ..AnalyzeOptions::default() },
+        ).has_errors());
+        let cfg = PrevvConfig {
+            depth,
+            forwarding,
+            timing: MemTiming { read_latency, write_latency, ..MemTiming::default() },
+            validations_per_cycle,
+            retire_per_cycle,
+            ..PrevvConfig::default()
+        };
+        let mut popts = ProtocolOptions::for_config(&cfg);
+        popts.max_states = 20_000;
+        let result = check_protocol(&spec, &popts);
+        prop_assume!(result.is_ok());
+        let result = result.unwrap();
+        prop_assume!(!result.report.has_errors());
+
+        let run = run_kernel(&spec, Controller::Prevv(cfg))
+            .expect("protocol-clean kernels must not wedge in simulation");
+        prop_assert!(
+            run.matches_golden,
+            "protocol-clean kernel diverged from the golden model"
+        );
+    }
+
+    /// Counterexample fidelity: every trace the model checker emits
+    /// replays, step by step through the shared `prevv-core` protocol
+    /// state, into exactly the state it advertises — stuck with no enabled
+    /// transition (PV201), stuck specifically on queue admission (PV203),
+    /// or a squash cycle that re-closes on the same abstract state (PV202).
+    #[test]
+    fn every_counterexample_replays_to_its_reported_state(
+        spec in kernel(),
+        depth in 2usize..=5,
+        forwarding in proptest::arbitrary::any::<bool>(),
+        fake_tokens in proptest::arbitrary::any::<bool>(),
+    ) {
+        prop_assume!(!analyze(
+            &spec,
+            &AnalyzeOptions { depth: 64, ..AnalyzeOptions::default() },
+        ).has_errors());
+        let cfg = PrevvConfig { depth, forwarding, ..PrevvConfig::default() };
+        let mut popts = ProtocolOptions::for_config(&cfg);
+        popts.fake_tokens = fake_tokens;
+        popts.max_states = 20_000;
+        let result = check_protocol(&spec, &popts);
+        prop_assume!(result.is_ok());
+        let result = result.unwrap();
+        for cex in &result.counterexamples {
+            if !matches!(
+                cex.code,
+                Code::ProtocolDeadlock | Code::SquashLivelock | Code::QueueWedge
+            ) {
+                continue;
+            }
+            let outcome = replay_counterexample(&spec, &popts, cex)
+                .expect("emitted counterexamples replay");
+            match cex.code {
+                Code::ProtocolDeadlock => prop_assert!(
+                    outcome.deadlock,
+                    "PV201 trace must replay to a stuck state: {}",
+                    cex.render()
+                ),
+                Code::QueueWedge => prop_assert!(
+                    outcome.deadlock && outcome.admission_blocked,
+                    "PV203 trace must replay to an admission-blocked stuck state: {}",
+                    cex.render()
+                ),
+                Code::SquashLivelock => prop_assert!(
+                    outcome.cycle_closed,
+                    "PV202 lasso must re-close under replay: {}",
+                    cex.render()
+                ),
+                _ => unreachable!(),
+            }
+        }
     }
 }
 

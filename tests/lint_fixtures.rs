@@ -300,6 +300,118 @@ fn fig2a_simulates_with_bypassed_arbiter_and_matches_golden() {
     assert_eq!(run.arrays, conservative.arrays);
 }
 
+/// The `kernels/bad/replay_livelock.pvk` fixture: with forwarding disabled
+/// the same-address `a[0]` accumulation squashes and replays iteration 1
+/// forever — PV202, pinned down to the code, severity, span text, and
+/// counterexample size. The default configuration (forwarding on) is clean.
+#[test]
+fn replay_livelock_fixture_is_pv202_with_short_counterexample() {
+    let (name, source) = read_fixture("kernels/bad/replay_livelock.pvk");
+    let spec = parse_kernel(&name, &source).expect("parses");
+
+    let opts = analyze::ProtocolOptions::for_config(&PrevvConfig {
+        forwarding: false,
+        ..PrevvConfig::default()
+    });
+    let result = analyze::check_protocol(&spec, &opts).expect("checks");
+    assert!(result.report.has_errors());
+    let d = result.report.with_code(Code::SquashLivelock);
+    assert_eq!(d.len(), 1, "exactly one PV202: {:?}", result.report);
+    assert_eq!(d[0].severity, Severity::Error);
+    let span = d[0].span.expect("PV202 is span-annotated");
+    assert_eq!(
+        &source[span.start..span.end],
+        "a[0]",
+        "anchored at the livelocking load"
+    );
+
+    let cex = result
+        .counterexamples
+        .iter()
+        .find(|c| c.code == Code::SquashLivelock)
+        .expect("PV202 carries a counterexample");
+    assert!(
+        !cex.events.is_empty() && cex.events.len() <= 25,
+        "minimal lasso, got {} events",
+        cex.events.len()
+    );
+    assert!(cex.cycle_from.is_some(), "a livelock trace is a lasso");
+    let outcome = analyze::replay_counterexample(&spec, &opts, cex).expect("replays");
+    assert!(outcome.cycle_closed, "the lasso re-closes under replay");
+
+    // Forwarding (the default) lets the replayed load take the resident
+    // store's value: the identical kernel proves clean.
+    let default_opts = analyze::ProtocolOptions::for_config(&PrevvConfig::default());
+    let clean = analyze::check_protocol(&spec, &default_opts).expect("checks");
+    assert!(
+        !clean.report.has_errors(),
+        "forwarding resolves the livelock:\n{}",
+        clean.report.render(&name, Some(&source))
+    );
+}
+
+/// The `kernels/bad/queue_too_small_mc.pvk` fixture: a 3-op stencil against
+/// a depth-2 premature queue wedges on admission — PV203, pinned down to
+/// the code, severity, span text, and counterexample size; the trace
+/// replays to a genuinely stuck state. One extra slot resolves it.
+#[test]
+fn queue_too_small_fixture_is_pv203_with_short_counterexample() {
+    let (name, source) = read_fixture("kernels/bad/queue_too_small_mc.pvk");
+    let spec = parse_kernel(&name, &source).expect("parses");
+
+    let opts = analyze::ProtocolOptions::for_config(&PrevvConfig {
+        depth: 2,
+        ..PrevvConfig::default()
+    });
+    let result = analyze::check_protocol(&spec, &opts).expect("checks");
+    assert!(result.report.has_errors());
+    let d = result.report.with_code(Code::QueueWedge);
+    assert_eq!(d.len(), 1, "exactly one PV203: {:?}", result.report);
+    assert_eq!(d[0].severity, Severity::Error);
+    let span = d[0].span.expect("PV203 is span-annotated");
+    assert_eq!(
+        &source[span.start..span.end],
+        "a[i]",
+        "anchored at the unadmittable op"
+    );
+
+    let cex = result
+        .counterexamples
+        .iter()
+        .find(|c| c.code == Code::QueueWedge)
+        .expect("PV203 carries a counterexample");
+    assert!(
+        !cex.events.is_empty() && cex.events.len() <= 25,
+        "minimal wedge trace, got {} events",
+        cex.events.len()
+    );
+    let outcome = analyze::replay_counterexample(&spec, &opts, cex).expect("replays");
+    assert!(outcome.deadlock, "the trace ends in a stuck state");
+    assert!(outcome.admission_blocked, "stuck specifically on admission");
+
+    // The static per-iteration bound (PV003) agrees with the reachability
+    // result here, and depth 3 resolves both.
+    let static_report = analyze::lint_source(
+        &name,
+        &source,
+        &AnalyzeOptions {
+            depth: 2,
+            ..AnalyzeOptions::default()
+        },
+    );
+    assert!(!static_report.with_code(Code::QueueDepth).is_empty());
+    let deeper = analyze::ProtocolOptions::for_config(&PrevvConfig {
+        depth: 3,
+        ..PrevvConfig::default()
+    });
+    let clean = analyze::check_protocol(&spec, &deeper).expect("checks");
+    assert!(
+        !clean.report.has_errors(),
+        "depth 3 admits the full iteration:\n{}",
+        clean.report.render(&name, Some(&source))
+    );
+}
+
 /// The symbolic GCD/Banerjee fast path alone proves every pair that
 /// brute-force enumeration proves on fig2a: all three affine `b` pairs are
 /// classified same-iteration-only (their collisions are program-order
