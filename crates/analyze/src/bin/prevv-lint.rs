@@ -4,7 +4,8 @@
 //! prevv-lint [--format text|json] [--depth N] [--no-fake-tokens]
 //!            [--no-pair-reduction] [--circuit]
 //!            [--controller none|direct|prevv] [--protocol]
-//!            [--mc-depth N] [--mc-states N] [--no-forwarding]
+//!            [--mc-depth N] [--mc-states N[k|m]] [--mc-threads N]
+//!            [--mc-audit] [--mc-no-por] [--no-forwarding]
 //!            [--deny-warnings] <file.pvk>...
 //! prevv-lint --explain PVxxx
 //! ```
@@ -19,14 +20,30 @@
 //! arbiter / squash protocol: `--depth` sizes the modeled queue,
 //! `--no-fake-tokens` / `--no-pair-reduction` / `--no-forwarding` configure
 //! the modeled controller, `--mc-depth` bounds the explored iteration
-//! horizon and `--mc-states` caps the explored state count. Findings from
+//! horizon and `--mc-states` caps the explored state count (human
+//! suffixes accepted: `120k`, `10m`). `--mc-threads` sets the frontier
+//! worker count (0 = all cores; any count produces identical results),
+//! `--mc-audit` enables the fingerprint collision audit, and
+//! `--mc-no-por` disables partial-order reduction (the unreduced
+//! oracle the reduction is cross-checked against). Findings from
 //! all passes fold into one report per file, rendered rustc-style
 //! (default) or as one JSON document for the whole run:
 //!
 //! ```json
 //! {"files":[{"file":"...","report":{...}}, ...],
-//!  "summary":{"errors":N,"warnings":N}}
+//!  "summary":{"errors":N,"warnings":N,
+//!             "protocol":{"states":N,"transitions":N,"enabled":N,
+//!                         "reduction_ratio":R,"states_per_sec":R,
+//!                         "threads":N,"truncated_by_budget":B,
+//!                         "audit_collisions":N|null,"validated":N,
+//!                         "pairs":{"conservative":N,"discharged":N,
+//!                                  "must_alias":N,"residual":N}}}}
 //! ```
+//!
+//! The `summary.protocol` object (present only under `--protocol`)
+//! aggregates the exploration over all checked files — actual states
+//! explored, the partial-order reduction ratio, throughput, and the
+//! PV30x pair-class discharge.
 //!
 //! `--explain PVxxx` prints the documentation, severity, and a minimal
 //! triggering example for any diagnostic code and exits (status 2 for an
@@ -37,8 +54,9 @@
 //! `--deny-warnings`, any warning.
 
 use prevv_analyze::{
-    explain_code, lint_source, lint_source_with_circuit, protocol_report, AnalyzeOptions,
-    CircuitOptions, ControllerModel, ProtocolOptions, Severity,
+    check_protocol, diag::Code, diag::Diagnostic, explain_code, lint_source,
+    lint_source_with_circuit, AnalyzeOptions, CheckStats, CircuitOptions, ControllerModel,
+    ProtocolOptions, Severity,
 };
 use prevv_core::PrevvConfig;
 
@@ -60,7 +78,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: prevv-lint [--format text|json] [--depth N] [--no-fake-tokens] \
          [--no-pair-reduction] [--circuit] [--controller none|direct|prevv] \
-         [--protocol] [--mc-depth N] [--mc-states N] [--no-forwarding] \
+         [--protocol] [--mc-depth N] [--mc-states N[k|m]] [--mc-threads N] \
+         [--mc-audit] [--mc-no-por] [--no-forwarding] \
          [--deny-warnings] <file.pvk>...\n       prevv-lint --explain PVxxx"
     );
     std::process::exit(2);
@@ -80,10 +99,22 @@ fn run_explain(code: Option<String>) -> ! {
             std::process::exit(0);
         }
         None => {
-            eprintln!("unknown diagnostic code `{code}` (known: PV000..PV006, PV101..PV105, PV200..PV204)");
+            eprintln!("unknown diagnostic code `{code}` (known: PV000..PV006, PV101..PV105, PV200..PV204, PV300..PV302)");
             std::process::exit(2);
         }
     }
+}
+
+/// Parses a state count with an optional human suffix: `120000`, `120k`,
+/// `10m` (case-insensitive).
+fn parse_states(v: &str) -> Option<usize> {
+    let v = v.trim();
+    let (digits, mult) = match v.as_bytes().last()? {
+        b'k' | b'K' => (&v[..v.len() - 1], 1_000usize),
+        b'm' | b'M' => (&v[..v.len() - 1], 1_000_000usize),
+        _ => (v, 1),
+    };
+    digits.parse::<usize>().ok()?.checked_mul(mult)
 }
 
 fn parse_args() -> Args {
@@ -95,6 +126,9 @@ fn parse_args() -> Args {
     let mut want_protocol = false;
     let mut mc_depth = 0u64;
     let mut mc_states = 0usize;
+    let mut mc_threads = 0usize;
+    let mut mc_audit = false;
+    let mut mc_por = true;
     let mut forwarding = true;
     let mut deny_warnings = false;
     let mut it = std::env::args().skip(1);
@@ -137,8 +171,23 @@ fn parse_args() -> Args {
             "--mc-states" => {
                 mc_states = it
                     .next()
+                    .and_then(|v| parse_states(&v))
+                    .unwrap_or_else(|| usage());
+                want_protocol = true;
+            }
+            "--mc-threads" => {
+                mc_threads = it
+                    .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                want_protocol = true;
+            }
+            "--mc-audit" => {
+                mc_audit = true;
+                want_protocol = true;
+            }
+            "--mc-no-por" => {
+                mc_por = false;
                 want_protocol = true;
             }
             "--no-forwarding" => forwarding = false,
@@ -168,6 +217,9 @@ fn parse_args() -> Args {
         if mc_states > 0 {
             p.max_states = mc_states;
         }
+        p.threads = mc_threads;
+        p.audit = mc_audit;
+        p.por = mc_por;
         p
     });
     Args {
@@ -180,11 +232,82 @@ fn parse_args() -> Args {
     }
 }
 
+/// Aggregated model-checker statistics over every checked file, for the
+/// JSON `summary.protocol` object.
+#[derive(Default)]
+struct ProtocolSummary {
+    states: usize,
+    transitions: u64,
+    enabled: u64,
+    secs: f64,
+    truncated_by_budget: bool,
+    audit_collisions: Option<u64>,
+    conservative: usize,
+    discharged: usize,
+    must_alias: usize,
+    residual: usize,
+    validated: usize,
+    threads: usize,
+}
+
+impl ProtocolSummary {
+    fn fold(&mut self, s: &CheckStats) {
+        self.states += s.states;
+        self.transitions += s.transitions;
+        self.enabled += s.enabled;
+        self.secs += s.duration.as_secs_f64();
+        self.truncated_by_budget |= s.truncated_by_budget;
+        if let Some(c) = s.audit_collisions {
+            *self.audit_collisions.get_or_insert(0) += c;
+        }
+        self.conservative += s.pairs.conservative;
+        self.discharged += s.pairs.discharged;
+        self.must_alias += s.pairs.must_alias;
+        self.residual += s.pairs.residual;
+        self.validated += s.validated;
+        self.threads = self.threads.max(s.threads);
+    }
+
+    fn to_json(&self) -> String {
+        let reduction = if self.enabled == 0 {
+            1.0
+        } else {
+            self.transitions as f64 / self.enabled as f64
+        };
+        let per_sec = if self.secs > 0.0 {
+            self.states as f64 / self.secs
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"states\":{},\"transitions\":{},\"enabled\":{},\"reduction_ratio\":{:.4},\
+             \"states_per_sec\":{:.0},\"threads\":{},\"truncated_by_budget\":{},\
+             \"audit_collisions\":{},\"validated\":{},\"pairs\":{{\"conservative\":{},\
+             \"discharged\":{},\"must_alias\":{},\"residual\":{}}}}}",
+            self.states,
+            self.transitions,
+            self.enabled,
+            reduction,
+            per_sec,
+            self.threads,
+            self.truncated_by_budget,
+            self.audit_collisions
+                .map_or_else(|| "null".to_string(), |c| c.to_string()),
+            self.validated,
+            self.conservative,
+            self.discharged,
+            self.must_alias,
+            self.residual,
+        )
+    }
+}
+
 fn main() {
     let args = parse_args();
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
     let mut json_files = Vec::new();
+    let mut protocol_summary: Option<ProtocolSummary> = None;
     for path in &args.files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -203,11 +326,22 @@ fn main() {
         };
         if let Some(protocol) = &args.protocol {
             // The protocol pass needs a parsed kernel; a PV000 in the base
-            // report means there is nothing to check.
+            // report means there is nothing to check. `check_protocol` is
+            // called directly (rather than via `protocol_report`) so the
+            // exploration statistics reach the JSON summary.
             if let Ok(spec) = prevv_ir::parse::parse_kernel(name, &source) {
-                report
-                    .diagnostics
-                    .extend(protocol_report(&spec, protocol).diagnostics);
+                match check_protocol(&spec, protocol) {
+                    Ok(result) => {
+                        protocol_summary
+                            .get_or_insert_with(ProtocolSummary::default)
+                            .fold(&result.stats);
+                        report.diagnostics.extend(result.report.diagnostics);
+                    }
+                    Err(e) => report.push(Diagnostic::warning(
+                        Code::ProtocolBound,
+                        format!("protocol model checker could not run: {e}"),
+                    )),
+                }
             }
         }
         total_errors += report.count(Severity::Error);
@@ -230,8 +364,11 @@ fn main() {
         }
     }
     if matches!(args.format, Format::Json) {
+        let protocol = protocol_summary
+            .as_ref()
+            .map_or(String::new(), |p| format!(",\"protocol\":{}", p.to_json()));
         println!(
-            "{{\"files\":[{}],\"summary\":{{\"errors\":{total_errors},\"warnings\":{total_warnings}}}}}",
+            "{{\"files\":[{}],\"summary\":{{\"errors\":{total_errors},\"warnings\":{total_warnings}{protocol}}}}}",
             json_files.join(",")
         );
     }

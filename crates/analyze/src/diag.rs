@@ -56,6 +56,17 @@ pub enum Code {
     /// `PV204` — a §V-B pair-reduced representative reaches a state where
     /// its validation verdict differs from the unreduced set's.
     ReductionUnsound,
+    /// `PV300` — the separation-logic prover left at least one ambiguous
+    /// pair to the dynamic arbiter (the symbolic horizon).
+    SeparationHorizon,
+    /// `PV301` — a pair's access footprints are proven separate: no
+    /// cross-iteration collision is possible, the pair never enters the
+    /// model checker's validated set.
+    ProvenDisjoint,
+    /// `PV302` — a pair's access footprints provably coincide on every
+    /// iteration pair (must-alias): the arbiter validation is guaranteed
+    /// live, not defensive.
+    MustAlias,
 }
 
 impl Code {
@@ -79,6 +90,9 @@ impl Code {
             Code::SquashLivelock => "PV202",
             Code::QueueWedge => "PV203",
             Code::ReductionUnsound => "PV204",
+            Code::SeparationHorizon => "PV300",
+            Code::ProvenDisjoint => "PV301",
+            Code::MustAlias => "PV302",
         }
     }
 }
@@ -322,6 +336,9 @@ mod tests {
         assert_eq!(Code::SquashLivelock.as_str(), "PV202");
         assert_eq!(Code::QueueWedge.as_str(), "PV203");
         assert_eq!(Code::ReductionUnsound.as_str(), "PV204");
+        assert_eq!(Code::SeparationHorizon.as_str(), "PV300");
+        assert_eq!(Code::ProvenDisjoint.as_str(), "PV301");
+        assert_eq!(Code::MustAlias.as_str(), "PV302");
     }
 
     #[test]

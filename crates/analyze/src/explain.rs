@@ -243,6 +243,47 @@ pub const ALL: &[Explanation] = &[
                   to `b`; see modelcheck.rs \
                   pv204_reduction_escape_on_eliminated_store)",
     },
+    Explanation {
+        code: Code::SeparationHorizon,
+        title: "separation horizon: pairs left to the dynamic arbiter",
+        severity: "note",
+        doc: "The separation-logic disjointness prover could not discharge \
+              every ambiguous load/store pair: at least one pair's access \
+              footprint is runtime-dependent or can wrap around the array \
+              length, so no affine separation proof applies. Those pairs \
+              stay in the arbiter's validated set and the PV2xx model \
+              checker explores their interleavings — the note records where \
+              the symbolic guarantee ends and the dynamic one begins.",
+        example: "int a[16];\nint b[8];\nfor (int i = 0; i < 8; ++i) { \
+                  a[b[i]] = a[b[i]] + 5; }",
+    },
+    Explanation {
+        code: Code::ProvenDisjoint,
+        title: "pair footprints proven separate — discharged",
+        severity: "note",
+        doc: "A conservative ambiguous pair's affine footprints are proven \
+              separate: either the two address envelopes never overlap in \
+              any pair of iterations, or every overlap is same-iteration \
+              with the load sequenced before the store (which the in-order \
+              commit already serializes). The pair never enters the \
+              arbiter's validated set or the model checker's state space — \
+              a whole pair-class is discharged symbolically, shrinking both \
+              the arbiter area and the exploration frontier.",
+        example: "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] = a[i] + 1; }",
+    },
+    Explanation {
+        code: Code::MustAlias,
+        title: "pair footprints must-alias — validation provably live",
+        severity: "note",
+        doc: "Both accesses of an ambiguous pair follow the *same* affine \
+              index function, so they touch the same address on every \
+              traversal: the arbiter validation for this pair fires every \
+              time, it is live rather than defensive. A constant footprint \
+              (`a[0]`) additionally collides across iterations — the \
+              canonical squash-replay generator, and with forwarding \
+              disabled the classic PV202 livelock shape.",
+        example: "int a[4];\nfor (int i = 0; i < 8; ++i) { a[0] = a[0] + 1; }",
+    },
 ];
 
 /// Looks up one code by its `PVxxx` string (case-insensitive).
@@ -277,10 +318,13 @@ mod tests {
                 | Code::ProtocolDeadlock
                 | Code::SquashLivelock
                 | Code::QueueWedge
-                | Code::ReductionUnsound => {}
+                | Code::ReductionUnsound
+                | Code::SeparationHorizon
+                | Code::ProvenDisjoint
+                | Code::MustAlias => {}
             }
         }
-        assert_eq!(ALL.len(), 17, "one entry per Code variant");
+        assert_eq!(ALL.len(), 20, "one entry per Code variant");
         // No duplicates, sorted by code string.
         let strs: Vec<_> = ALL.iter().map(|e| e.code.as_str()).collect();
         let mut sorted = strs.clone();

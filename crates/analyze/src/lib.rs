@@ -24,6 +24,9 @@
 //! | PV202 | error    | protocol: squash livelock — replay cycle with no frontier progress |
 //! | PV203 | error    | protocol: queue capacity insufficient on some interleaving |
 //! | PV204 | warning  | protocol: §V-B pair-reduction representative diverges from the unreduced set |
+//! | PV300 | note     | separation horizon: pairs left to the dynamic arbiter |
+//! | PV301 | note     | pair footprints proven separate — discharged before model checking |
+//! | PV302 | note     | pair footprints must-alias — validation provably live |
 //!
 //! The `PV0xx` lints run on the kernel; the `PV1xx` lints ([`circuit`])
 //! run on the synthesized netlist via the channel-graph introspection API
@@ -33,8 +36,10 @@
 //! simulator runs. The affine machinery behind PV001/PV004 is the
 //! symbolic dependence engine re-exported as [`symdep`] (GCD and Banerjee
 //! tests), which lets the lint families scale past enumerable iteration
-//! spaces. [`explain`] documents every code with a minimal triggering
-//! example (`prevv-lint --explain PVxxx`).
+//! spaces; the `PV3xx` notes ([`seplog`]) are the separation-logic-style
+//! disjointness prover that discharges whole pair-classes before they reach
+//! the arbiter or the model checker. [`explain`] documents every code with
+//! a minimal triggering example (`prevv-lint --explain PVxxx`).
 //!
 //! [`synthesize`] is the checked front door: it runs the analyzer and
 //! refuses kernels with any error-severity finding, attaching the report.
@@ -67,14 +72,15 @@ pub mod diag;
 pub mod explain;
 mod lints;
 pub mod modelcheck;
+pub mod seplog;
 pub mod symdep;
 
 pub use circuit::{lint_circuit, lint_netlist, CircuitOptions, ControllerModel};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use explain::{explain as explain_code, Explanation};
 pub use modelcheck::{
-    check as check_protocol, replay as replay_counterexample, CheckResult, Counterexample,
-    EventKind, ProtocolOptions, ReplayOutcome, TraceEvent,
+    check as check_protocol, replay as replay_counterexample, CheckResult, CheckStats,
+    Counterexample, EventKind, ProtocolOptions, ReplayOutcome, TraceEvent,
 };
 
 /// Configuration the analyzer checks the kernel against. Mirrors the knobs
@@ -135,6 +141,7 @@ pub fn analyze(spec: &KernelSpec, opts: &AnalyzeOptions) -> Report {
     lints::check_disjoint(spec, &deps, &mut report);
     lints::check_dead_stores(spec, &deps, &mut report);
     lints::check_pair_reduction(spec, &deps, opts, &mut report);
+    seplog::check_separation(spec, &deps, &mut report);
     report
 }
 

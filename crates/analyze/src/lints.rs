@@ -40,7 +40,7 @@ fn guard_passes(spec: &KernelSpec, stmt: usize, row: &[Value]) -> bool {
 
 /// Source span of each static op, aligned with `ops` (the `k`-th op of a
 /// statement maps to [`prevv_ir::Stmt::op_span`] with that ordinal).
-fn op_spans(spec: &KernelSpec, ops: &[StaticMemOp]) -> Vec<Option<Span>> {
+pub(crate) fn op_spans(spec: &KernelSpec, ops: &[StaticMemOp]) -> Vec<Option<Span>> {
     let mut next = vec![0usize; spec.body.len()];
     ops.iter()
         .map(|op| {

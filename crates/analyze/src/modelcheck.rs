@@ -1,8 +1,8 @@
 //! PV2xx — bounded explicit-state model checking of the PreVV protocol.
 //!
 //! The checker builds an abstract transition system from a [`KernelSpec`]
-//! and a [`PrevvConfig`] and explores it exhaustively (BFS over hash-consed
-//! states) up to a configurable iteration bound:
+//! and a [`PrevvConfig`] and explores it exhaustively up to a configurable
+//! iteration bound:
 //!
 //! * **State** — the pure [`ProtocolState`] (premature queue, completion
 //!   frontier, in-order commit cursor, admission reservation) shared
@@ -25,32 +25,74 @@
 //!   [`PV204`](Code::ReductionUnsound) a §V-B-eliminated operation whose
 //!   full-set validation verdict is a squash the reduced set would miss.
 //!
-//! Counterexamples are shortest traces of protocol events (BFS parents),
-//! span-annotated via [`Stmt::op_span`](prevv_ir::Stmt::op_span), and can
-//! be re-executed against the transition system with [`replay`] — which is
-//! how the property tests prove every reported trace is real.
+//! # The exploration engine
+//!
+//! The frontier is explored **level-synchronously** (breadth-first by
+//! trace length, so counterexamples stay shortest):
+//!
+//! * **Partial-order reduction** — when several arrivals are enabled, a
+//!   single *ample* arrival provably independent of every other enabled
+//!   one (disjoint footprints, no frontier/commit progress, persistence
+//!   of every other enabled arrival, admission slack for all of them) is
+//!   explored alone; the commuted interleavings collapse. Ample steps
+//!   never squash, so every cycle in the reduced graph still contains a
+//!   fully-expanded state (no ignoring). The reduction is cross-checked
+//!   against unreduced exploration by property tests; see DESIGN.md for
+//!   the independence argument.
+//! * **Hash compaction** — the visited set stores 64-bit fingerprints
+//!   (a splitmix64 chain over the canonical [`ProtocolKey`] words, the
+//!   issue cursors and the RAM image) with the parent fingerprint and the
+//!   generating port, ~24 bytes per state in an open-addressed table.
+//!   Full states live only for the current and next BFS level.
+//!   Counterexamples are rebuilt by backtracking parent fingerprints to
+//!   the root and deterministically re-executing the port sequence.
+//!   [`ProtocolOptions::audit`] keeps the full keys on the side and
+//!   counts fingerprint collisions (expected ≈ n²/2⁶⁴).
+//! * **Parallel frontier** — each level is expanded by a work-stealing
+//!   chunk pool ([`ProtocolOptions::threads`]); results are merged in
+//!   deterministic chunk order, so any thread count produces the same
+//!   exploration order, the same traces, and the same statistics.
+//!
+//! Counterexamples are span-annotated via
+//! [`Stmt::op_span`](prevv_ir::Stmt::op_span) and can be re-executed
+//! against the transition system with [`replay`] — which is how the
+//! property tests prove every reported trace is real.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use prevv_core::protocol::ProtocolKey;
 use prevv_core::reduce::reduce;
 use prevv_core::{Arbiter, CommitStep, PrematureRecord, PrevvConfig, ProtocolState, Verdict};
 use prevv_dataflow::{Tag, Value};
+use prevv_ir::symdep::{classify_accesses, PairClass};
 use prevv_ir::{depend::StaticMemOp, Expr, KernelSpec, MemOpKind, Span};
 
 use crate::diag::{Code, Diagnostic, Report};
+use crate::seplog::SeparationStats;
 
 /// Default iteration bound when [`ProtocolOptions::iterations`] is zero.
 ///
-/// Two iterations cover every protocol interaction the checker looks for:
-/// intra-iteration ordering, the distance-1 cross-iteration hazards that
-/// drive squash/replay, admission reservation across the frontier, and
-/// guarded-iteration draining. Deeper bounds are opt-in (`--mc-depth`);
-/// the state count grows steeply with the bound (see DESIGN.md).
-pub const DEFAULT_ITERATION_BOUND: u64 = 2;
+/// Four iterations cover every protocol interaction the checker looks
+/// for — intra-iteration ordering, distance-1 *and* distance-2
+/// cross-iteration hazards that drive squash/replay, admission
+/// reservation across the frontier, guarded-iteration draining — plus the
+/// second-order replays (a replayed iteration squashed again by a later
+/// one) that only appear at depth ≥ 3. Partial-order reduction and hash
+/// compaction keep this bound affordable; deeper bounds are opt-in
+/// (`--mc-depth`) and the state count still grows steeply (see DESIGN.md).
+pub const DEFAULT_ITERATION_BOUND: u64 = 4;
 
 /// Default cap on explored states before the checker gives up with PV200.
-pub const DEFAULT_MAX_STATES: usize = 120_000;
+pub const DEFAULT_MAX_STATES: usize = 10_000_000;
+
+/// Cap on squash-cycle candidates examined for PV202 per run.
+const SQUASH_CANDIDATE_CAP: usize = 64;
+
+/// Cap on states explored by one plane-confined PV202 cycle search.
+const CONFINED_SEARCH_CAP: usize = 1 << 18;
 
 /// Configuration of the protocol model checker.
 #[derive(Debug, Clone)]
@@ -67,6 +109,16 @@ pub struct ProtocolOptions {
     pub iterations: u64,
     /// State cap: exploration stops with a PV200 warning beyond this.
     pub max_states: usize,
+    /// Worker threads for frontier expansion. `0` selects all available
+    /// cores. Results are identical at any thread count.
+    pub threads: usize,
+    /// Partial-order reduction (on by default). Disabling it forces the
+    /// full interleaving set — the cross-check oracle for the reduction.
+    pub por: bool,
+    /// Collision-audit mode: keep full state keys beside the fingerprint
+    /// table and count fingerprint collisions (costs the memory the
+    /// compaction saved; for validation runs only).
+    pub audit: bool,
 }
 
 impl Default for ProtocolOptions {
@@ -76,6 +128,9 @@ impl Default for ProtocolOptions {
             fake_tokens: true,
             iterations: 0,
             max_states: DEFAULT_MAX_STATES,
+            threads: 0,
+            por: true,
+            audit: false,
         }
     }
 }
@@ -161,6 +216,56 @@ impl Counterexample {
     }
 }
 
+/// Exploration statistics of one model-checking run.
+#[derive(Debug, Clone)]
+pub struct CheckStats {
+    /// Distinct abstract states discovered (fingerprint-table size).
+    pub states: usize,
+    /// Transitions actually executed (post partial-order reduction).
+    pub transitions: u64,
+    /// Transitions enabled before reduction (the unreduced out-degree sum).
+    pub enabled: u64,
+    /// Wall-clock time of the exploration.
+    pub duration: Duration,
+    /// True when the state budget (not the iteration bound) stopped the
+    /// run.
+    pub truncated_by_budget: bool,
+    /// Collision-audit mode only: fingerprint collisions observed
+    /// (distinct states sharing a 64-bit fingerprint). `None` when the
+    /// audit was off.
+    pub audit_collisions: Option<u64>,
+    /// Separation-prover pair classes for the kernel (PV300–PV302): how
+    /// much of the conservative ambiguous set was discharged before
+    /// exploration.
+    pub pairs: SeparationStats,
+    /// Ops the arbiter actually validates (the post-discharge set).
+    pub validated: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl CheckStats {
+    /// Fraction of enabled transitions the reduction actually executed
+    /// (1.0 = no reduction; smaller is better).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.enabled == 0 {
+            1.0
+        } else {
+            self.transitions as f64 / self.enabled as f64
+        }
+    }
+
+    /// Exploration throughput in states per second.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Result of a protocol model-checking run.
 #[derive(Debug)]
 pub struct CheckResult {
@@ -175,6 +280,8 @@ pub struct CheckResult {
     pub complete: bool,
     /// The iteration bound actually used.
     pub bound: u64,
+    /// Exploration statistics (throughput, reduction ratio, pair classes).
+    pub stats: CheckStats,
 }
 
 impl CheckResult {
@@ -271,6 +378,113 @@ pub fn replay(
 }
 
 // ---------------------------------------------------------------------------
+// Fingerprints and the compacted visited store.
+// ---------------------------------------------------------------------------
+
+/// The sentinel port marking the root of the parent-fingerprint chain.
+const ROOT_OP: u32 = u32::MAX;
+
+/// splitmix64 — a fixed, keyless mixer (the std hasher is randomly seeded
+/// per process, which would break deterministic cross-run comparisons).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One visited state: its fingerprint, the fingerprint of the BFS parent
+/// and the port whose transition generated it — everything counterexample
+/// reconstruction needs, in 24 bytes.
+#[derive(Clone, Copy)]
+struct FpSlot {
+    fp: u64,
+    parent: u64,
+    op: u32,
+}
+
+const EMPTY_SLOT: FpSlot = FpSlot {
+    fp: 0,
+    parent: 0,
+    op: 0,
+};
+
+/// Open-addressed fingerprint table (linear probing, ≤ 0.75 load).
+/// Fingerprint 0 marks an empty slot; [`Model::fingerprint`] never
+/// produces it.
+struct FpTable {
+    slots: Vec<FpSlot>,
+    len: usize,
+}
+
+impl FpTable {
+    fn new() -> Self {
+        FpTable {
+            slots: vec![EMPTY_SLOT; 1024],
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `fp` with its parent edge; returns true when new.
+    fn insert(&mut self, fp: u64, parent: u64, op: u32) -> bool {
+        debug_assert_ne!(fp, 0);
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (splitmix(fp) as usize) & mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.fp == 0 {
+                *slot = FpSlot { fp, parent, op };
+                self.len += 1;
+                return true;
+            }
+            if slot.fp == fp {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The parent edge of a visited fingerprint.
+    fn get(&self, fp: u64) -> Option<(u64, u32)> {
+        let mask = self.slots.len() - 1;
+        let mut i = (splitmix(fp) as usize) & mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.fp == 0 {
+                return None;
+            }
+            if slot.fp == fp {
+                return Some((slot.parent, slot.op));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; 0]);
+        self.slots = vec![EMPTY_SLOT; old.len() * 2];
+        let mask = self.slots.len() - 1;
+        for s in old {
+            if s.fp == 0 {
+                continue;
+            }
+            let mut i = (splitmix(s.fp) as usize) & mask;
+            while self.slots[i].fp != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The abstract transition system.
 // ---------------------------------------------------------------------------
 
@@ -321,6 +535,16 @@ impl StepOutcome {
     }
 }
 
+/// The gating half of [`Model::try_step`], without cloning or evaluating —
+/// cheap enough to probe for every op when selecting an ample transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpStatus {
+    Enabled,
+    BlockedAdmission,
+    BlockedOperand,
+    Exhausted,
+}
+
 enum DeadCause {
     /// A guarded op silently skipped iteration `iter` — the frontier waits
     /// for a token that will never come (missing fake tokens, §V-C).
@@ -331,6 +555,27 @@ enum DeadCause {
     Stuck,
 }
 
+/// Everything one expanded state contributes to the merge: its successors
+/// (with fingerprints), the pre-reduction enabled count, and any verdict
+/// evidence found at the state.
+struct StateResult {
+    succs: Vec<Succ>,
+    enabled: u32,
+    /// `Some(blocked ops)` when the state is a dead end short of success.
+    dead_blocked: Option<Vec<(usize, u64)>>,
+    /// First PV204 reduction-escape event out of this state.
+    escape: Option<TraceEvent>,
+    /// Squash successors staying in the (frontier, next_commit) plane —
+    /// PV202 cycle candidates.
+    squash_cands: Vec<(McState, TraceEvent)>,
+}
+
+struct Succ {
+    op: usize,
+    fp: u64,
+    state: McState,
+}
+
 struct Model<'a> {
     spec: &'a KernelSpec,
     cfg: PrevvConfig,
@@ -338,6 +583,9 @@ struct Model<'a> {
     bound: u64,
     max_states: usize,
     truncated: bool,
+    por: bool,
+    audit: bool,
+    threads: usize,
     ops: Vec<StaticMemOp>,
     stmt_base: Vec<usize>,
     spans: Vec<Option<Span>>,
@@ -352,6 +600,10 @@ struct Model<'a> {
     arbiter: Arbiter,
     validated: HashSet<usize>,
     reduced: HashSet<usize>,
+    /// Static half of the ample check: op is unvalidated and its footprint
+    /// is proven independent of every conflicting op on the same array.
+    ample_ok: Vec<bool>,
+    pair_stats: SeparationStats,
     expected_ram: Vec<Value>,
 }
 
@@ -425,6 +677,69 @@ impl<'a> Model<'a> {
         let reduced = reduce(iface, true).validated;
         let arbiter = Arbiter::new(validated.clone(), opts.config.forwarding);
 
+        let deps = prevv_ir::depend::analyze(spec);
+        let pair_stats = crate::seplog::separation_stats(spec, &deps);
+
+        // Static ample eligibility. An op can only be explored alone when
+        // its arrival provably commutes with every other enabled arrival:
+        //
+        // * it is never validated (its verdict is forced `Clean`, so it
+        //   never squashes — ample steps keep Σissued strictly increasing,
+        //   which is the no-ignoring argument: every cycle contains a
+        //   squash edge, and squash edges come only from fully-expanded
+        //   states);
+        // * for every conflicting op on the same array — (load, store),
+        //   (store, load), (store, store); load/load pairs commute by
+        //   definition — the footprints are proven `Disjoint`, or overlap
+        //   only same-iteration *and* one op's record feeds the other
+        //   (operand-forced: they are never co-enabled in the iteration
+        //   where they could alias). Store/store matters because the
+        //   arbiter's intervening-store exemption makes verdicts sensitive
+        //   to store arrival order.
+        //
+        // The dynamic half (purity + persistence + admission slack) is
+        // checked per state in `expand_state`.
+        let operand_range = |op: usize| -> std::ops::Range<usize> {
+            let o = &ops[op];
+            match o.kind {
+                MemOpKind::Load => (op - o.index.loads().len())..op,
+                MemOpKind::Store => stmt_base[o.stmt]..op,
+            }
+        };
+        let mut ample_ok = vec![false; ops.len()];
+        for (p, slot) in ample_ok.iter_mut().enumerate() {
+            if validated.contains(&p) {
+                continue;
+            }
+            let mut ok = true;
+            for q in 0..ops.len() {
+                if q == p || ops[q].array != ops[p].array {
+                    continue;
+                }
+                if ops[p].kind == MemOpKind::Load && ops[q].kind == MemOpKind::Load {
+                    continue;
+                }
+                let class = classify_accesses(spec, &ops[p].index, &ops[q].index, ops[p].array);
+                let operand_forced =
+                    operand_range(p).contains(&q) || operand_range(q).contains(&p);
+                match class {
+                    PairClass::Disjoint => {}
+                    PairClass::SameIterationOnly if operand_forced => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            *slot = ok;
+        }
+
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            opts.threads
+        };
+
         let expected_ram = sequential_ram(spec, &bases, &init_ram, &rows, &guard_taken);
 
         Ok(Model {
@@ -434,6 +749,9 @@ impl<'a> Model<'a> {
             bound,
             max_states: opts.max_states.max(1),
             truncated,
+            por: opts.por,
+            audit: opts.audit,
+            threads,
             ops,
             stmt_base,
             spans,
@@ -448,6 +766,8 @@ impl<'a> Model<'a> {
             arbiter,
             validated,
             reduced,
+            ample_ok,
+            pair_stats,
             expected_ram,
         })
     }
@@ -457,6 +777,27 @@ impl<'a> Model<'a> {
             proto: ProtocolState::new(self.cfg.depth),
             issued: vec![0; self.ops.len()],
             ram: self.init_ram.clone(),
+        }
+    }
+
+    /// Keyless 64-bit fingerprint of a state: a splitmix64 chain over the
+    /// canonical protocol-key words, the issue cursors and the RAM image.
+    /// All three sections have a state-independent length for a given
+    /// model (the key stream is length-prefixed), so no separators are
+    /// needed. Zero is remapped (it marks an empty table slot).
+    fn fingerprint(&self, st: &McState) -> u64 {
+        let mut h = 0x5157_cc1b_7272_20a5u64;
+        st.proto.key().fold_words(|w| h = splitmix(h ^ w));
+        for &i in &st.issued {
+            h = splitmix(h ^ i);
+        }
+        for &v in &st.ram {
+            h = splitmix(h ^ v as u64);
+        }
+        if h == 0 {
+            1
+        } else {
+            h
         }
     }
 
@@ -615,6 +956,35 @@ impl<'a> Model<'a> {
         }
     }
 
+    /// The gating prefix of [`Self::try_step`] — must mirror it exactly:
+    /// `op_status` returns [`OpStatus::Enabled`] iff `try_step` would
+    /// return [`StepOutcome::Stepped`].
+    fn op_status(&self, st: &McState, op: usize) -> OpStatus {
+        let iter = st.issued[op];
+        if iter >= self.bound {
+            return OpStatus::Exhausted;
+        }
+        let o = &self.ops[op];
+        if !self.guard_taken[iter as usize][o.stmt] {
+            if !self.fake_tokens {
+                return OpStatus::Enabled; // the silent skip is a step
+            }
+            return if st.proto.can_admit(iter, self.ports, 0) {
+                OpStatus::Enabled
+            } else {
+                OpStatus::BlockedAdmission
+            };
+        }
+        if self.operands(op).any(|q| st.issued[q] <= iter) {
+            return OpStatus::BlockedOperand;
+        }
+        if st.proto.can_admit(iter, self.ports, 0) {
+            OpStatus::Enabled
+        } else {
+            OpStatus::BlockedAdmission
+        }
+    }
+
     /// The unique transition of `op` from `st`, if enabled.
     fn try_step(&self, st: &McState, op: usize) -> StepOutcome {
         let iter = st.issued[op];
@@ -703,89 +1073,326 @@ impl<'a> Model<'a> {
         DeadCause::Stuck
     }
 
-    fn trace_to(&self, parent: &[Option<(usize, TraceEvent)>], mut i: usize) -> Vec<TraceEvent> {
-        let mut events = Vec::new();
-        while let Some((p, ev)) = &parent[i] {
-            events.push(ev.clone());
-            i = *p;
+    /// Expands one state. When partial-order reduction applies, the result
+    /// holds the single ample successor; otherwise all of them.
+    fn expand_state(&self, st: &McState) -> StateResult {
+        let statuses: Vec<OpStatus> =
+            (0..self.ops.len()).map(|op| self.op_status(st, op)).collect();
+        let enabled_count = statuses.iter().filter(|&&s| s == OpStatus::Enabled).count();
+
+        if self.por && enabled_count > 1 {
+            if let Some(res) = self.try_ample(st, &statuses, enabled_count) {
+                return res;
+            }
         }
-        events.reverse();
+
+        let mut succs = Vec::new();
+        let mut blocked: Vec<(usize, u64)> = Vec::new();
+        let mut escape = None;
+        let mut squash_cands = Vec::new();
+        for op in 0..self.ops.len() {
+            match self.try_step(st, op) {
+                StepOutcome::Stepped { next, event, squash, reduction_escape } => {
+                    if reduction_escape && escape.is_none() {
+                        escape = Some(event.clone());
+                    }
+                    if squash
+                        && next.proto.frontier == st.proto.frontier
+                        && next.proto.next_commit == st.proto.next_commit
+                    {
+                        // A squash that made no frontier/commit progress can
+                        // close a livelock cycle (both quantities are
+                        // monotone, so a cycle holds them constant).
+                        squash_cands.push(((*next).clone(), event));
+                    }
+                    let fp = self.fingerprint(&next);
+                    succs.push(Succ { op, fp, state: *next });
+                }
+                StepOutcome::BlockedAdmission => blocked.push((op, st.issued[op])),
+                StepOutcome::BlockedOperand | StepOutcome::Exhausted => {}
+            }
+        }
+        let success = self.is_success(st);
+        if success {
+            debug_assert_eq!(
+                st.ram, self.expected_ram,
+                "a completed interleaving must match the sequential semantics"
+            );
+        }
+        StateResult {
+            succs,
+            enabled: enabled_count as u32,
+            dead_blocked: (enabled_count == 0 && !success).then_some(blocked),
+            escape,
+            squash_cands,
+        }
+    }
+
+    /// The dynamic half of the ample check. A statically eligible op `p`
+    /// is explored alone only when its step is
+    ///
+    /// * **pure** — no frontier or commit progress (so no RAM write, no
+    ///   retirement: the step only appends `p`'s own record), keeping it
+    ///   invisible to every other op's evaluation;
+    /// * **persistent** — every other enabled op stays enabled in the
+    ///   successor; and
+    /// * **slack-admitted** — `p` would still be admitted after every
+    ///   other enabled op arrived first (the admission reservation is a
+    ///   shared resource: without slack, delaying `p` behind the others
+    ///   could block it and reach a wedge the reduction would hide); and
+    /// * **working ahead** — `p` has already delivered its token for the
+    ///   frontier iteration (`issued[p] > frontier`). A token still owed
+    ///   to the frontier iteration gates frontier progress, and a PV202
+    ///   livelock cycle is exactly a schedule that withholds such a token
+    ///   forever: forcing it to fire would hide the cycle. Work-ahead
+    ///   arrivals can never be what a no-progress cycle withholds — a
+    ///   squash either flushes their record (the cycle state repeats) or
+    ///   leaves it inert and disjoint.
+    fn try_ample(
+        &self,
+        st: &McState,
+        statuses: &[OpStatus],
+        enabled_count: usize,
+    ) -> Option<StateResult> {
+        for p in 0..self.ops.len() {
+            if statuses[p] != OpStatus::Enabled || !self.ample_ok[p] {
+                continue;
+            }
+            if st.issued[p] <= st.proto.frontier {
+                continue;
+            }
+            if !st.proto.can_admit(st.issued[p], self.ports, enabled_count - 1) {
+                continue;
+            }
+            let StepOutcome::Stepped { next, squash, reduction_escape, .. } =
+                self.try_step(st, p)
+            else {
+                continue;
+            };
+            debug_assert!(!squash && !reduction_escape, "ample ops are never validated");
+            if next.proto.frontier != st.proto.frontier
+                || next.proto.next_commit != st.proto.next_commit
+            {
+                continue;
+            }
+            let persistent = (0..self.ops.len()).all(|q| {
+                q == p
+                    || statuses[q] != OpStatus::Enabled
+                    || self.op_status(&next, q) == OpStatus::Enabled
+            });
+            if !persistent {
+                continue;
+            }
+            let fp = self.fingerprint(&next);
+            return Some(StateResult {
+                succs: vec![Succ { op: p, fp, state: *next }],
+                enabled: enabled_count as u32,
+                dead_blocked: None,
+                escape: None,
+                squash_cands: Vec::new(),
+            });
+        }
+        None
+    }
+
+    /// Expands a whole BFS level, in parallel when configured. Results are
+    /// returned in level order regardless of thread count: workers claim
+    /// fixed chunks from an atomic counter and the merge re-sorts by chunk
+    /// index, so exploration is deterministic and single-threaded runs are
+    /// byte-identical to multi-threaded ones.
+    fn expand_level(&self, level: &[(u64, McState)]) -> Vec<StateResult> {
+        const CHUNK: usize = 256;
+        if self.threads <= 1 || level.len() <= CHUNK {
+            return level.iter().map(|(_, st)| self.expand_state(st)).collect();
+        }
+        let nchunks = level.len().div_ceil(CHUNK);
+        let counter = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Vec<StateResult>)>> =
+            Mutex::new(Vec::with_capacity(nchunks));
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(nchunks) {
+                scope.spawn(|| loop {
+                    let c = counter.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let lo = c * CHUNK;
+                    let hi = (lo + CHUNK).min(level.len());
+                    let out: Vec<StateResult> = level[lo..hi]
+                        .iter()
+                        .map(|(_, st)| self.expand_state(st))
+                        .collect();
+                    results.lock().expect("worker panicked").push((c, out));
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("worker panicked");
+        results.sort_unstable_by_key(|&(c, _)| c);
+        results.into_iter().flat_map(|(_, v)| v).collect()
+    }
+
+    /// Backtracks the parent-fingerprint chain of `fp` to the root and
+    /// returns the generating port sequence in execution order. The length
+    /// guard makes a fingerprint-collision-corrupted chain terminate
+    /// deterministically instead of looping.
+    fn ops_to(&self, visited: &FpTable, mut fp: u64) -> Vec<usize> {
+        let mut ops = Vec::new();
+        let cap = visited.len() + 1;
+        while let Some((parent, op)) = visited.get(fp) {
+            if op == ROOT_OP || ops.len() > cap {
+                break;
+            }
+            ops.push(op as usize);
+            fp = parent;
+        }
+        ops.reverse();
+        ops
+    }
+
+    /// Rebuilds the event trace to the state fingerprinted `fp` by
+    /// re-executing its port sequence from the initial state (transitions
+    /// are deterministic per port, so the replay regenerates the exact
+    /// events the exploration saw without storing any of them).
+    fn trace_to(&self, visited: &FpTable, init: &McState, fp: u64) -> Vec<TraceEvent> {
+        let ops = self.ops_to(visited, fp);
+        let mut st = init.clone();
+        let mut events = Vec::with_capacity(ops.len());
+        for op in ops {
+            match self.try_step(&st, op) {
+                StepOutcome::Stepped { next, event, .. } => {
+                    events.push(event);
+                    st = *next;
+                }
+                // Unreachable short of a fingerprint collision; truncate
+                // deterministically rather than panic.
+                _ => break,
+            }
+        }
         events
     }
 
-    /// Regenerates the event of explored edge `x -> y` (edges only store
-    /// the target and squash flag, to keep memory bounded).
-    fn event_for_edge(&self, states: &[McState], x: usize, y: usize) -> TraceEvent {
-        let want = states[y].key();
-        for op in 0..self.ops.len() {
-            if let StepOutcome::Stepped { next, event, .. } = self.try_step(&states[x], op) {
-                if next.key() == want {
-                    return event;
+    /// Searches for a path `v -> … -> u` confined to the shared
+    /// (frontier, next_commit) plane — which is exact, not heuristic: both
+    /// quantities are monotone, so any path between two states of the same
+    /// plane can never leave it. Returns the path's events (empty when
+    /// `v == u`: the squash was a self-loop).
+    ///
+    /// `budget` is the number of state expansions this call may still
+    /// spend; it is shared across every candidate of one exploration so
+    /// a run with many deep planes pays [`CONFINED_SEARCH_CAP`] *total*,
+    /// not per candidate. Self-loop candidates cost nothing.
+    fn close_cycle(&self, u: &McState, v: &McState, budget: &mut usize) -> Option<Vec<TraceEvent>> {
+        let target = u.key();
+        if v.key() == target {
+            return Some(Vec::new());
+        }
+        let plane = (u.proto.frontier, u.proto.next_commit);
+        let mut states = vec![v.clone()];
+        let mut seen: HashSet<StateKey> = HashSet::from([v.key()]);
+        let mut parent: Vec<Option<(usize, TraceEvent)>> = vec![None];
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(i) = queue.pop_front() {
+            if *budget == 0 {
+                return None;
+            }
+            *budget -= 1;
+            let st = states[i].clone();
+            for op in 0..self.ops.len() {
+                let StepOutcome::Stepped { next, event, .. } = self.try_step(&st, op) else {
+                    continue;
+                };
+                if (next.proto.frontier, next.proto.next_commit) != plane {
+                    continue;
+                }
+                let key = next.key();
+                if key == target {
+                    let mut events = Vec::new();
+                    let mut j = i;
+                    while let Some((p, ev)) = &parent[j] {
+                        events.push(ev.clone());
+                        j = *p;
+                    }
+                    events.reverse();
+                    events.push(event);
+                    return Some(events);
+                }
+                if seen.insert(key) {
+                    states.push(*next);
+                    parent.push(Some((i, event)));
+                    queue.push_back(states.len() - 1);
                 }
             }
         }
-        unreachable!("explored edge has a generating transition")
+        None
     }
 
     fn explore(&self) -> CheckResult {
+        let start = Instant::now();
         let mut init = self.initial();
         self.housekeeping(&mut init);
+        let init_fp = self.fingerprint(&init);
 
-        let mut states = vec![init];
-        let mut key_ix: HashMap<StateKey, usize> = HashMap::new();
-        key_ix.insert(states[0].key(), 0);
-        let mut parent: Vec<Option<(usize, TraceEvent)>> = vec![None];
-        let mut edges: Vec<Vec<(usize, bool)>> = vec![Vec::new()];
-        let mut squash_edges: Vec<(usize, usize)> = Vec::new();
-        let mut bfs = VecDeque::from([0usize]);
+        let mut visited = FpTable::new();
+        visited.insert(init_fp, 0, ROOT_OP);
+        let mut audit: Option<HashMap<u64, StateKey>> = self.audit.then(HashMap::new);
+        if let Some(aud) = &mut audit {
+            aud.insert(init_fp, init.key());
+        }
+        let mut audit_collisions = 0u64;
 
-        let mut complete = true;
-        let mut deadlock: Option<(usize, DeadCause)> = None;
-        let mut escape: Option<(usize, TraceEvent)> = None;
+        let mut transitions = 0u64;
+        let mut enabled_total = 0u64;
+        let mut truncated_by_budget = false;
 
-        while let Some(i) = bfs.pop_front() {
-            let st = states[i].clone();
-            let mut any = false;
-            let mut blocked: Vec<(usize, u64)> = Vec::new();
-            for op in 0..self.ops.len() {
-                match self.try_step(&st, op) {
-                    StepOutcome::Stepped { next, event, squash, reduction_escape } => {
-                        any = true;
-                        if reduction_escape && escape.is_none() {
-                            escape = Some((i, event.clone()));
+        struct Deadlock(u64, McState, Vec<(usize, u64)>);
+        let mut deadlock: Option<Deadlock> = None;
+        let mut escape: Option<(u64, TraceEvent)> = None;
+        let mut squash_cands: Vec<(u64, McState, McState, TraceEvent)> = Vec::new();
+
+        let mut level: Vec<(u64, McState)> = vec![(init_fp, init.clone())];
+        'levels: while !level.is_empty() {
+            let results = self.expand_level(&level);
+            let mut next_level: Vec<(u64, McState)> = Vec::new();
+            for (si, res) in results.into_iter().enumerate() {
+                let (st_fp, st) = &level[si];
+                enabled_total += u64::from(res.enabled);
+                transitions += res.succs.len() as u64;
+                if deadlock.is_none() {
+                    if let Some(blocked) = res.dead_blocked {
+                        deadlock = Some(Deadlock(*st_fp, st.clone(), blocked));
+                    }
+                }
+                if escape.is_none() {
+                    if let Some(ev) = res.escape {
+                        escape = Some((*st_fp, ev));
+                    }
+                }
+                for (v, ev) in res.squash_cands {
+                    if squash_cands.len() < SQUASH_CANDIDATE_CAP {
+                        squash_cands.push((*st_fp, st.clone(), v, ev));
+                    }
+                }
+                for succ in res.succs {
+                    if visited.insert(succ.fp, *st_fp, succ.op as u32) {
+                        if let Some(aud) = &mut audit {
+                            aud.insert(succ.fp, succ.state.key());
                         }
-                        let k = next.key();
-                        let j = *key_ix.entry(k).or_insert_with(|| {
-                            states.push(*next);
-                            parent.push(Some((i, event)));
-                            edges.push(Vec::new());
-                            bfs.push_back(states.len() - 1);
-                            states.len() - 1
-                        });
-                        edges[i].push((j, squash));
-                        if squash {
-                            squash_edges.push((i, j));
+                        next_level.push((succ.fp, succ.state));
+                        if visited.len() > self.max_states {
+                            truncated_by_budget = true;
+                            break 'levels;
+                        }
+                    } else if let Some(aud) = &audit {
+                        if aud.get(&succ.fp) != Some(&succ.state.key()) {
+                            audit_collisions += 1;
                         }
                     }
-                    StepOutcome::BlockedAdmission => blocked.push((op, st.issued[op])),
-                    StepOutcome::BlockedOperand | StepOutcome::Exhausted => {}
                 }
             }
-            if !any && deadlock.is_none() && !self.is_success(&st) {
-                deadlock = Some((i, self.classify(&st, &blocked)));
-            }
-            if self.is_success(&st) {
-                debug_assert_eq!(
-                    st.ram, self.expected_ram,
-                    "a completed interleaving must match the sequential semantics"
-                );
-            }
-            if states.len() > self.max_states {
-                complete = false;
-                break;
-            }
+            level = next_level;
         }
 
+        let complete = !truncated_by_budget;
         let mut report = Report::default();
         let mut counterexamples = Vec::new();
 
@@ -812,10 +1419,10 @@ impl<'a> Model<'a> {
             );
         }
 
-        if let Some((i, cause)) = deadlock {
-            let events = self.trace_to(&parent, i);
-            let resident = states[i].proto.queue.len();
-            let (diag, code) = match cause {
+        if let Some(Deadlock(fp, st, blocked)) = &deadlock {
+            let events = self.trace_to(&visited, &init, *fp);
+            let resident = st.proto.queue.len();
+            let (diag, code) = match self.classify(st, blocked) {
                 DeadCause::MissingToken { op, iter } => (
                     Diagnostic::error(
                         Code::ProtocolDeadlock,
@@ -863,20 +1470,26 @@ impl<'a> Model<'a> {
             counterexamples.push(Counterexample { code, events, cycle_from: None });
         }
 
-        // PV202: a squash edge inside a strongly connected component is a
-        // cycle replaying the same iteration with zero frontier progress
-        // (the frontier and commit cursor are monotone, so any cycle holds
-        // them constant).
-        let comp = sccs(&edges);
-        if let Some(&(u, v)) = squash_edges.iter().find(|&&(u, v)| comp[u] == comp[v]) {
-            let mut events = self.trace_to(&parent, u);
-            let cycle_from = events.len();
-            let squash_ev = self.event_for_edge(&states, u, v);
-            let from = squash_ev.squash_from.unwrap_or(squash_ev.iter);
-            events.push(squash_ev);
-            for (x, y) in path_in_scc(&edges, &comp, v, u) {
-                events.push(self.event_for_edge(&states, x, y));
+        // PV202: a squash edge u -> v that stayed in its (frontier,
+        // next_commit) plane closes a livelock cycle iff v reaches u again
+        // — searched within the plane, which is exact (both quantities are
+        // monotone, so a cycle holds them constant). Candidates are
+        // examined in BFS discovery order; the first confirmed one has the
+        // shortest prefix.
+        let mut livelock = None;
+        let mut confined_budget = CONFINED_SEARCH_CAP;
+        for (u_fp, u, v, squash_ev) in &squash_cands {
+            if let Some(cycle_tail) = self.close_cycle(u, v, &mut confined_budget) {
+                let mut events = self.trace_to(&visited, &init, *u_fp);
+                let cycle_from = events.len();
+                let from = squash_ev.squash_from.unwrap_or(squash_ev.iter);
+                events.push(squash_ev.clone());
+                events.extend(cycle_tail);
+                livelock = Some((events, cycle_from, from));
+                break;
             }
+        }
+        if let Some((events, cycle_from, from)) = livelock {
             report.push(
                 Diagnostic::error(
                     Code::SquashLivelock,
@@ -898,8 +1511,8 @@ impl<'a> Model<'a> {
             });
         }
 
-        if let Some((i, ev)) = escape {
-            let mut events = self.trace_to(&parent, i);
+        if let Some((fp, ev)) = escape {
+            let mut events = self.trace_to(&visited, &init, fp);
             events.push(ev.clone());
             report.push(
                 Diagnostic::warning(
@@ -922,12 +1535,24 @@ impl<'a> Model<'a> {
             });
         }
 
+        let stats = CheckStats {
+            states: visited.len(),
+            transitions,
+            enabled: enabled_total,
+            duration: start.elapsed(),
+            truncated_by_budget,
+            audit_collisions: audit.map(|_| audit_collisions),
+            pairs: self.pair_stats,
+            validated: self.validated.len(),
+            threads: self.threads,
+        };
         CheckResult {
             report,
             counterexamples,
-            states: states.len(),
+            states: stats.states,
             complete,
             bound: self.bound,
+            stats,
         }
     }
 }
@@ -986,101 +1611,6 @@ fn sequential_ram(
         }
     }
     ram
-}
-
-/// Iterative Tarjan SCC over the explored graph; returns the component id
-/// of every node. Self-loops form (cyclic) singleton components, which the
-/// squash-edge test `comp[u] == comp[v]` classifies correctly.
-fn sccs(edges: &[Vec<(usize, bool)>]) -> Vec<usize> {
-    let n = edges.len();
-    let mut index = vec![usize::MAX; n];
-    let mut low = vec![0usize; n];
-    let mut on = vec![false; n];
-    let mut comp = vec![usize::MAX; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
-    let mut ncomp = 0usize;
-    let mut call: Vec<(usize, usize)> = Vec::new();
-
-    for s in 0..n {
-        if index[s] != usize::MAX {
-            continue;
-        }
-        call.push((s, 0));
-        'outer: while let Some((v, ei)) = call.pop() {
-            if ei == 0 {
-                index[v] = next_index;
-                low[v] = next_index;
-                next_index += 1;
-                stack.push(v);
-                on[v] = true;
-            }
-            let mut i = ei;
-            while i < edges[v].len() {
-                let w = edges[v][i].0;
-                i += 1;
-                if index[w] == usize::MAX {
-                    call.push((v, i));
-                    call.push((w, 0));
-                    continue 'outer;
-                }
-                if on[w] {
-                    low[v] = low[v].min(index[w]);
-                }
-            }
-            if low[v] == index[v] {
-                loop {
-                    let w = stack.pop().expect("tarjan stack");
-                    on[w] = false;
-                    comp[w] = ncomp;
-                    if w == v {
-                        break;
-                    }
-                }
-                ncomp += 1;
-            }
-            if let Some(&(u, _)) = call.last() {
-                low[u] = low[u].min(low[v]);
-            }
-        }
-    }
-    comp
-}
-
-/// Shortest edge path from `from` to `to` staying inside their SCC
-/// (empty when `from == to`, e.g. a squash self-loop).
-fn path_in_scc(
-    edges: &[Vec<(usize, bool)>],
-    comp: &[usize],
-    from: usize,
-    to: usize,
-) -> Vec<(usize, usize)> {
-    if from == to {
-        return Vec::new();
-    }
-    let c = comp[from];
-    let mut prev: HashMap<usize, usize> = HashMap::new();
-    let mut q = VecDeque::from([from]);
-    while let Some(x) = q.pop_front() {
-        if x == to {
-            break;
-        }
-        for &(y, _) in &edges[x] {
-            if comp[y] == c && y != from && !prev.contains_key(&y) {
-                prev.insert(y, x);
-                q.push_back(y);
-            }
-        }
-    }
-    let mut path = Vec::new();
-    let mut cur = to;
-    while cur != from {
-        let p = prev[&cur];
-        path.push((p, cur));
-        cur = p;
-    }
-    path.reverse();
-    path
 }
 
 #[cfg(test)]
@@ -1242,5 +1772,189 @@ mod tests {
         assert_eq!(r.bound, DEFAULT_ITERATION_BOUND);
         assert_eq!(r.report.with_code(Code::ProtocolBound).len(), 1);
         assert!(r.is_clean());
+    }
+
+    // --- the scalable engine ------------------------------------------------
+
+    /// The comparable essence of a run: verdict codes, trace shapes, and
+    /// exploration counts. Thread counts must not change any of it.
+    type Digest = (Vec<(Code, usize, Option<usize>)>, usize, u64, u64);
+
+    fn digest(r: &CheckResult) -> Digest {
+        (
+            r.counterexamples
+                .iter()
+                .map(|c| (c.code, c.events.len(), c.cycle_from))
+                .collect(),
+            r.states,
+            r.stats.transitions,
+            r.stats.enabled,
+        )
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = parse(
+            "fig2a",
+            "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[b[i]] += 1;\n  b[i] += 2;\n}\n",
+        );
+        let one = check(
+            &spec,
+            &ProtocolOptions { threads: 1, ..ProtocolOptions::default() },
+        )
+        .expect("checks");
+        let four = check(
+            &spec,
+            &ProtocolOptions { threads: 4, ..ProtocolOptions::default() },
+        )
+        .expect("checks");
+        assert_eq!(digest(&one), digest(&four));
+        assert_eq!(one.report.to_json(None), four.report.to_json(None));
+        assert_eq!(four.stats.threads, 4);
+    }
+
+    #[test]
+    fn reduction_agrees_with_full_exploration() {
+        // POR must not change any verdict, on clean and violating kernels
+        // alike — and must not explore more states than the full graph.
+        let cases: Vec<(KernelSpec, ProtocolOptions)> = vec![
+            (
+                parse(
+                    "fig2a",
+                    "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[b[i]] += 1;\n  b[i] += 2;\n}\n",
+                ),
+                ProtocolOptions::default(),
+            ),
+            (
+                parse(
+                    "livelock",
+                    "int a[4];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[0] += 1;\n  b[i] += 2;\n}\n",
+                ),
+                {
+                    let mut o = ProtocolOptions::default();
+                    o.config.forwarding = false;
+                    o
+                },
+            ),
+            (
+                parse(
+                    "stencil",
+                    "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] = a[i] + a[i + 1]; }\n",
+                ),
+                {
+                    let mut o = ProtocolOptions::default();
+                    o.config.depth = 2;
+                    o
+                },
+            ),
+        ];
+        for (spec, opts) in cases {
+            let por = check(&spec, &opts).expect("checks");
+            let full = check(&spec, &ProtocolOptions { por: false, ..opts.clone() })
+                .expect("checks");
+            let codes_of = |r: &CheckResult| {
+                let mut c: Vec<Code> = r.counterexamples.iter().map(|c| c.code).collect();
+                c.sort_by_key(|c| c.as_str().to_string());
+                c
+            };
+            assert_eq!(
+                codes_of(&por),
+                codes_of(&full),
+                "{}: reduced and full verdicts diverge",
+                spec.name
+            );
+            assert!(
+                por.states <= full.states,
+                "{}: reduction explored more states ({} > {})",
+                spec.name,
+                por.states,
+                full.states
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_actually_shrinks_the_graph() {
+        // A kernel with provably independent streams is where the ample
+        // rule bites: the reduced graph must be strictly smaller.
+        let spec = parse(
+            "streams",
+            "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[i] += 1;\n  b[i] += 2;\n}\n",
+        );
+        let por = check(&spec, &ProtocolOptions::default()).expect("checks");
+        let full = check(
+            &spec,
+            &ProtocolOptions { por: false, ..ProtocolOptions::default() },
+        )
+        .expect("checks");
+        assert!(por.is_clean() && full.is_clean());
+        assert!(
+            por.states < full.states,
+            "reduction did not shrink: {} vs {}",
+            por.states,
+            full.states
+        );
+        assert!(por.stats.reduction_ratio() < 1.0);
+    }
+
+    #[test]
+    fn audit_mode_sees_no_collisions() {
+        let spec = parse(
+            "fig2a",
+            "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[b[i]] += 1;\n  b[i] += 2;\n}\n",
+        );
+        let r = check(
+            &spec,
+            &ProtocolOptions { audit: true, ..ProtocolOptions::default() },
+        )
+        .expect("checks");
+        assert_eq!(r.stats.audit_collisions, Some(0));
+        let off = check(&spec, &ProtocolOptions::default()).expect("checks");
+        assert_eq!(off.stats.audit_collisions, None);
+    }
+
+    #[test]
+    fn stats_expose_discharge_and_throughput() {
+        let spec = parse(
+            "fig2a",
+            "int a[16];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[b[i]] += 5;\n  b[i] += 3;\n}\n",
+        );
+        let r = check(&spec, &ProtocolOptions::default()).expect("checks");
+        assert_eq!(r.stats.pairs.conservative, 4);
+        assert_eq!(r.stats.pairs.discharged, 3, "the three affine b pairs");
+        assert_eq!(r.stats.pairs.residual, 1);
+        assert!(r.stats.validated < 2 * r.stats.pairs.conservative);
+        assert!(r.stats.transitions <= r.stats.enabled);
+        assert_eq!(r.stats.states, r.states);
+        assert!(r.stats.states_per_sec() > 0.0);
+        assert!(!r.stats.truncated_by_budget);
+    }
+
+    #[test]
+    fn budget_truncation_is_reported_distinctly() {
+        let spec = parse(
+            "fig2a",
+            "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[b[i]] += 1;\n  b[i] += 2;\n}\n",
+        );
+        let r = check(
+            &spec,
+            &ProtocolOptions { max_states: 100, ..ProtocolOptions::default() },
+        )
+        .expect("checks");
+        assert!(!r.complete);
+        assert!(r.stats.truncated_by_budget);
+        assert_eq!(r.report.with_code(Code::ProtocolBound).len(), 2, "horizon note + budget warning");
+    }
+
+    #[test]
+    fn fingerprint_table_inserts_and_backtracks() {
+        let mut t = FpTable::new();
+        assert!(t.insert(42, 0, ROOT_OP));
+        assert!(!t.insert(42, 9, 3), "duplicate fingerprints are merged");
+        for fp in 1..=3000u64 {
+            t.insert(fp.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, 42, 7);
+        }
+        assert_eq!(t.get(42), Some((0, ROOT_OP)));
+        assert_eq!(t.get(0x0dd0_0000_0000_0001), None);
     }
 }

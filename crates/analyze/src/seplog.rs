@@ -1,0 +1,292 @@
+//! PV3xx — a separation-logic-style disjointness prover over affine access
+//! footprints.
+//!
+//! The dependence analysis in `prevv_ir::depend` decides which load/store
+//! pairs the arbiter must validate. This pass re-examines every conservative
+//! pair *symbolically*, in the spirit of separation logic's heap
+//! disjointness assertions: each access is abstracted to its affine
+//! footprint (the set of raw addresses its index form can take over the
+//! iteration hull), and the prover tries to show the two footprints are
+//! **separate** — either disjoint outright, or overlapping only where the
+//! in-order commit already serializes them.
+//!
+//! Three verdicts, three codes, all notes:
+//!
+//! * **PV301 (proven separate)** — the footprints are disjoint over the
+//!   hull, or every collision is same-iteration and program-order protected
+//!   (load sequenced before the store). Such a pair never needs the arbiter
+//!   and never enters the model checker's validated set: a whole pair-class
+//!   is discharged before exploration starts.
+//! * **PV302 (must-alias)** — the two footprints are the *same* affine
+//!   function, so they collide on every traversal: the arbiter validation
+//!   for this pair is live, not defensive. Constant footprints (`a[0]`)
+//!   additionally collide across iterations — the canonical squash-replay
+//!   generator.
+//! * **PV300 (separation horizon)** — at least one pair resisted symbolic
+//!   discharge (runtime-dependent index, wrapping range); the dynamic
+//!   arbiter and the PV2xx bounded checker remain the only line of defense
+//!   for it.
+//!
+//! The prover rides on [`prevv_ir::symdep::classify_accesses`], which since
+//! the hull-bounds extension also covers triangular nests — strictly more
+//! than the GCD/Banerjee rectangular fast path `refine_pairs` started with.
+//! Its verdicts are one-sided (proof or silence) and are cross-checked
+//! against brute-force enumeration by the property tests in
+//! `tests/analyzer_properties.rs`.
+
+use prevv_ir::depend::{AmbiguousPair, Dependences};
+use prevv_ir::symdep::{classify_accesses, AffineForm, PairClass};
+use prevv_ir::KernelSpec;
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::lints::op_spans;
+
+/// The prover's verdict for one conservative load/store pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Separation {
+    /// Proven: the footprints never overlap, in any pair of iterations.
+    DisjointFootprints,
+    /// Proven: every overlap is same-iteration with the load sequenced
+    /// before the store — the in-order commit serializes it.
+    OrderProtected,
+    /// Proven: the footprints are the same affine function; the pair
+    /// collides on every traversal (and across iterations when constant).
+    MustAlias,
+    /// No symbolic proof; the pair stays with the dynamic arbiter.
+    Residual,
+}
+
+impl Separation {
+    /// Pairs the arbiter (and the model checker) no longer needs.
+    pub fn discharged(self) -> bool {
+        matches!(
+            self,
+            Separation::DisjointFootprints | Separation::OrderProtected
+        )
+    }
+}
+
+/// Aggregate pair-class counts, surfaced in the model checker's stats and
+/// the `prevv-lint` JSON summary so the discharge is visible to tooling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeparationStats {
+    /// Conservative ambiguous pairs found by dependence analysis.
+    pub conservative: usize,
+    /// Pairs the prover discharged (PV301).
+    pub discharged: usize,
+    /// Pairs proven must-alias (PV302) — validated, and provably live.
+    pub must_alias: usize,
+    /// Pairs with no symbolic verdict — validated defensively.
+    pub residual: usize,
+}
+
+/// Classifies every conservative pair. The order matches `deps.pairs`.
+pub fn classify_pairs(spec: &KernelSpec, deps: &Dependences) -> Vec<(AmbiguousPair, Separation)> {
+    let levels = spec.levels.len();
+    deps.pairs
+        .iter()
+        .map(|&pair| {
+            let load = &deps.ops[pair.load];
+            let store = &deps.ops[pair.store];
+            let verdict = match classify_accesses(spec, &load.index, &store.index, load.array) {
+                PairClass::Disjoint => Separation::DisjointFootprints,
+                PairClass::SameIterationOnly if load.seq < store.seq => Separation::OrderProtected,
+                _ => {
+                    // Identical affine forms must-alias even when the raw
+                    // range wraps: equal raw values stay equal after
+                    // `rem_euclid`.
+                    match (
+                        AffineForm::from_expr(&load.index, levels),
+                        AffineForm::from_expr(&store.index, levels),
+                    ) {
+                        (Some(a), Some(b)) if a == b => Separation::MustAlias,
+                        _ => Separation::Residual,
+                    }
+                }
+            };
+            (pair, verdict)
+        })
+        .collect()
+}
+
+/// Aggregate counts over [`classify_pairs`].
+pub fn separation_stats(spec: &KernelSpec, deps: &Dependences) -> SeparationStats {
+    let mut stats = SeparationStats {
+        conservative: deps.pairs.len(),
+        ..SeparationStats::default()
+    };
+    for (_, verdict) in classify_pairs(spec, deps) {
+        match verdict {
+            Separation::DisjointFootprints | Separation::OrderProtected => stats.discharged += 1,
+            Separation::MustAlias => stats.must_alias += 1,
+            Separation::Residual => stats.residual += 1,
+        }
+    }
+    stats
+}
+
+/// The lint pass: one PV301 note per discharged pair, one PV302 note per
+/// must-alias pair, and a single PV300 horizon note when anything remains
+/// for the dynamic arbiter.
+pub(crate) fn check_separation(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
+    let spans = op_spans(spec, &deps.ops);
+    let verdicts = classify_pairs(spec, deps);
+    let mut residual = 0usize;
+    for (pair, verdict) in &verdicts {
+        let name = &spec.arrays[deps.ops[pair.load].array.0].name;
+        let span = spans[pair.load].or(spans[pair.store]);
+        match verdict {
+            Separation::DisjointFootprints => report.push(
+                Diagnostic::note(
+                    Code::ProvenDisjoint,
+                    format!(
+                        "load/store footprints on `{name}` are proven separate: the affine \
+                         envelopes never overlap, in any pair of iterations"
+                    ),
+                )
+                .with_span(span),
+            ),
+            Separation::OrderProtected => report.push(
+                Diagnostic::note(
+                    Code::ProvenDisjoint,
+                    format!(
+                        "load/store footprints on `{name}` are proven separate: every overlap \
+                         is same-iteration and the load is sequenced before the store, which \
+                         the in-order commit serializes"
+                    ),
+                )
+                .with_span(span),
+            ),
+            Separation::MustAlias => {
+                residual += 1;
+                report.push(
+                    Diagnostic::note(
+                        Code::MustAlias,
+                        format!(
+                            "load/store footprints on `{name}` must-alias: both follow the \
+                             same affine index function, so the arbiter validation for this \
+                             pair fires on every traversal"
+                        ),
+                    )
+                    .with_span(span),
+                );
+            }
+            Separation::Residual => residual += 1,
+        }
+    }
+    if residual > 0 {
+        report.push(
+            Diagnostic::note(
+                Code::SeparationHorizon,
+                format!(
+                    "separation horizon: {residual} of {} ambiguous pair(s) resist symbolic \
+                     discharge; the dynamic arbiter validates them and the PV2xx checker \
+                     explores their interleavings",
+                    verdicts.len()
+                ),
+            )
+            .with_help(
+                "runtime-dependent or wrapping index functions have no affine footprint; \
+                 only the bounded model checker can cover them",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prevv_ir::depend::analyze;
+    use prevv_ir::parse::parse_kernel;
+
+    fn verdicts(src: &str) -> Vec<Separation> {
+        let spec = parse_kernel("t", src).expect("parses");
+        let deps = analyze(&spec);
+        classify_pairs(&spec, &deps)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    #[test]
+    fn order_protected_accumulator_is_discharged() {
+        let v = verdicts("int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] = a[i] + 1; }");
+        assert_eq!(v, vec![Separation::OrderProtected]);
+    }
+
+    #[test]
+    fn shifted_streams_are_discharged_before_the_prover() {
+        // `a[i + 8]` vs `a[i]`: `depend::analyze` runs the same
+        // `classify_accesses` proof and drops outright-disjoint pairs from
+        // the conservative set, so nothing is left for the prover — the
+        // `DisjointFootprints` arm is upstream-subsumed (defense in depth
+        // should the dependence policy ever become more conservative).
+        let spec = parse_kernel(
+            "t",
+            "int a[16];\nfor (int i = 0; i < 8; ++i) { a[i + 8] = a[i] + 1; }",
+        )
+        .expect("parses");
+        let deps = analyze(&spec);
+        assert!(
+            deps.pairs.is_empty(),
+            "fully disjoint footprints never reach the prover"
+        );
+        assert!(classify_pairs(&spec, &deps).is_empty());
+    }
+
+    #[test]
+    fn constant_cell_must_aliases() {
+        let v = verdicts("int a[4];\nfor (int i = 0; i < 8; ++i) { a[0] = a[0] + 1; }");
+        assert_eq!(v, vec![Separation::MustAlias]);
+    }
+
+    #[test]
+    fn runtime_indices_stay_residual() {
+        let spec = parse_kernel(
+            "t",
+            "int a[16];\nint b[8];\nfor (int i = 0; i < 8; ++i) { a[b[i]] = a[b[i]] + 5; }",
+        )
+        .expect("parses");
+        let deps = analyze(&spec);
+        let stats = separation_stats(&spec, &deps);
+        assert_eq!(stats.conservative, stats.discharged + stats.residual);
+        assert!(stats.residual >= 1, "the data-dependent pair stays");
+    }
+
+    #[test]
+    fn fig2a_discharges_three_pairs_symbolically() {
+        let src = "int a[16];\nint b[8] = {2, 5, 2, 7, 2, 1, 5, 2};\n\
+                   for (int i = 0; i < 8; ++i) { a[b[i]] = a[b[i]] + 5; b[i] = b[i] + 3; }";
+        let spec = parse_kernel("fig2a", src).expect("parses");
+        let deps = analyze(&spec);
+        let stats = separation_stats(&spec, &deps);
+        assert_eq!(stats.conservative, 4);
+        assert_eq!(stats.discharged, 3, "the three affine b pairs");
+        assert_eq!(stats.residual, 1, "the data-dependent a pair");
+    }
+
+    #[test]
+    fn lint_emits_horizon_note_only_when_pairs_remain() {
+        let spec = parse_kernel(
+            "t",
+            "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] = a[i] + 1; }",
+        )
+        .expect("parses");
+        let deps = analyze(&spec);
+        let mut report = Report::default();
+        check_separation(&spec, &deps, &mut report);
+        assert_eq!(report.with_code(Code::ProvenDisjoint).len(), 1);
+        assert!(report.with_code(Code::SeparationHorizon).is_empty());
+
+        let spec = parse_kernel(
+            "t",
+            "int a[4];\nfor (int i = 0; i < 8; ++i) { a[0] = a[0] + 1; }",
+        )
+        .expect("parses");
+        let deps = analyze(&spec);
+        let mut report = Report::default();
+        check_separation(&spec, &deps, &mut report);
+        assert_eq!(report.with_code(Code::MustAlias).len(), 1);
+        assert_eq!(report.with_code(Code::SeparationHorizon).len(), 1);
+    }
+}

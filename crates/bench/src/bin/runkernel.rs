@@ -20,6 +20,7 @@ struct Args {
     path: String,
     controller: Controller,
     protocol: bool,
+    mc_threads: usize,
     dot: Option<String>,
     vcd: Option<String>,
 }
@@ -27,7 +28,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: runkernel <file.pvk> [--controller direct|dynamatic16|fast16|prevv<depth>] \
-         [--protocol] [--dot <out.dot>] [--vcd <out.vcd>]"
+         [--protocol] [--mc-threads <n>] [--dot <out.dot>] [--vcd <out.vcd>]"
     );
     std::process::exit(2);
 }
@@ -37,11 +38,17 @@ fn parse_args() -> Args {
     let mut path = None;
     let mut controller = Controller::Prevv(PrevvConfig::prevv16());
     let mut protocol = false;
+    let mut mc_threads = 0usize;
     let mut dot = None;
     let mut vcd = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--protocol" => protocol = true,
+            "--mc-threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                mc_threads = v.parse().unwrap_or_else(|_| usage());
+                protocol = true;
+            }
             "--controller" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 controller = match v.as_str() {
@@ -64,6 +71,7 @@ fn parse_args() -> Args {
         path: path.unwrap_or_else(|| usage()),
         controller,
         protocol,
+        mc_threads,
         dot,
         vcd,
     }
@@ -113,10 +121,11 @@ fn main() {
     // expensive than the static lints). Runs against the same controller
     // configuration the simulation will attach.
     if args.protocol {
-        let popts = match &args.controller {
+        let mut popts = match &args.controller {
             Controller::Prevv(cfg) => prevv::analyze::ProtocolOptions::for_config(cfg),
             _ => prevv::analyze::ProtocolOptions::default(),
         };
+        popts.threads = args.mc_threads;
         match prevv::analyze::check_protocol(&spec, &popts) {
             Ok(result) => {
                 println!(
@@ -124,6 +133,23 @@ fn main() {
                     result.states,
                     result.bound,
                     if result.complete { "" } else { " (truncated)" }
+                );
+                // Deterministic reduction stats on stdout (stable for CI
+                // diffs at any --mc-threads); wall-clock throughput on
+                // stderr where run-to-run jitter cannot churn diffs.
+                println!(
+                    "protocol: {} of {} transition(s) explored after reduction (ratio {:.4}), \
+                     {} pair(s) validated, {} discharged symbolically",
+                    result.stats.transitions,
+                    result.stats.enabled,
+                    result.stats.reduction_ratio(),
+                    result.stats.validated,
+                    result.stats.pairs.discharged,
+                );
+                eprintln!(
+                    "protocol: {:.0} states/s on {} thread(s)",
+                    result.stats.states_per_sec(),
+                    result.stats.threads
                 );
                 if !result.report.is_empty() {
                     println!("{}", result.report.render(&args.path, Some(&source)));

@@ -270,16 +270,22 @@ impl ProtocolState {
     /// physical pointer positions and high-water statistics are excluded on
     /// purpose) — this is what the model checker hash-conses on.
     pub fn key(&self) -> ProtocolKey {
+        let mut records: Vec<RecordKey> = self
+            .queue
+            .iter()
+            .map(|r| {
+                (
+                    r.port, r.iter, r.seq, r.kind, r.fake, r.addr, r.value, r.committed,
+                )
+            })
+            .collect();
+        // Canonical order: `(iter, seq)` is unique per record, so the sort
+        // erases the arrival history entirely. Interleavings that merely
+        // permute independent arrivals collapse onto one key — the property
+        // the model checker's partial-order reduction relies on.
+        records.sort_unstable_by_key(|r| (r.1, r.2, r.0));
         ProtocolKey {
-            records: self
-                .queue
-                .iter()
-                .map(|r| {
-                    (
-                        r.port, r.iter, r.seq, r.kind, r.fake, r.addr, r.value, r.committed,
-                    )
-                })
-                .collect(),
+            records,
             frontier: self.frontier,
             next_commit: self.next_commit,
         }
@@ -308,6 +314,29 @@ pub struct ProtocolKey {
     records: Vec<RecordKey>,
     frontier: u64,
     next_commit: u64,
+}
+
+impl ProtocolKey {
+    /// Feeds the canonical encoding into `f` as a stream of `u64` words —
+    /// the hook hash-compacted state stores fingerprint on. The encoding is
+    /// injective (every field is widened, none overlap) and independent of
+    /// the process's hash seeds, so fingerprints are stable across runs,
+    /// threads and platforms.
+    pub fn fold_words(&self, mut f: impl FnMut(u64)) {
+        f(self.frontier);
+        f(self.next_commit);
+        f(self.records.len() as u64);
+        for &(port, iter, seq, kind, fake, addr, value, committed) in &self.records {
+            f(iter);
+            let flags = u64::from(kind == MemOpKind::Store)
+                | (u64::from(fake) << 1)
+                | (u64::from(committed) << 2)
+                | (u64::from(addr.is_some()) << 3);
+            f((port as u64) << 40 | u64::from(seq) << 8 | flags);
+            f(addr.unwrap_or(0) as u64);
+            f(value as u64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -411,5 +440,26 @@ mod tests {
         b.arrived.remove(&0);
 
         assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn key_is_arrival_order_canonical() {
+        // The same multiset of records, arrived in different orders, shares
+        // one key — and therefore one fingerprint word stream.
+        let mut a = ProtocolState::new(4);
+        a.record_arrival(real(0, MemOpKind::Load, 0, 0));
+        a.record_arrival(real(1, MemOpKind::Store, 0, 1));
+
+        let mut b = ProtocolState::new(4);
+        b.record_arrival(real(1, MemOpKind::Store, 0, 1));
+        b.record_arrival(real(0, MemOpKind::Load, 0, 0));
+
+        assert_eq!(a.key(), b.key());
+        let mut wa = Vec::new();
+        let mut wb = Vec::new();
+        a.key().fold_words(|w| wa.push(w));
+        b.key().fold_words(|w| wb.push(w));
+        assert_eq!(wa, wb);
+        assert!(!wa.is_empty());
     }
 }

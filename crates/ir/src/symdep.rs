@@ -175,6 +175,45 @@ pub fn rect_bounds(levels: &[LoopLevel]) -> Option<Vec<(i64, i64)>> {
         .collect()
 }
 
+/// Rectangular *hull* of a possibly-triangular nest: inclusive per-level
+/// ranges that contain every reachable induction value. For a
+/// [`Bound::OuterPlus`] bound the outer variable is replaced by its own hull
+/// extreme, so the result is an over-approximation — a superset of the true
+/// iteration space. That direction is exactly what the one-sided dependence
+/// proofs need: "no collision anywhere in the hull" implies "no collision in
+/// the nest", and a raw index range that fits `[0, len)` over the hull fits
+/// over the nest. Exact range queries (PV001 bounds checking) must keep
+/// using [`rect_bounds`], which refuses triangular nests instead of
+/// widening them.
+///
+/// Returns `None` only for malformed nests whose outer reference points at
+/// a not-yet-defined level.
+pub fn hull_bounds(levels: &[LoopLevel]) -> Option<Vec<(i64, i64)>> {
+    let mut hull: Vec<(i64, i64)> = Vec::with_capacity(levels.len());
+    for (li, l) in levels.iter().enumerate() {
+        let lo = match l.lo {
+            Bound::Const(c) => c,
+            Bound::OuterPlus(outer, off) => {
+                if outer >= li {
+                    return None;
+                }
+                hull[outer].0 + off
+            }
+        };
+        let hi = match l.hi {
+            Bound::Const(c) => c - 1,
+            Bound::OuterPlus(outer, off) => {
+                if outer >= li {
+                    return None;
+                }
+                hull[outer].1 + off - 1
+            }
+        };
+        hull.push((lo, hi));
+    }
+    Some(hull)
+}
+
 /// Greatest common divisor (non-negative; `gcd(0, 0) == 0`).
 fn gcd(a: i64, b: i64) -> i64 {
     let (mut a, mut b) = (a.abs(), b.abs());
@@ -311,8 +350,10 @@ pub fn classify_pair(a: &AffineForm, b: &AffineForm, bounds: &[(i64, i64)]) -> P
 
 /// Checked entry point: classifies the (load index, store index) pair of a
 /// kernel access pair on `array`, or [`PairClass::Unknown`] when the
-/// symbolic model does not apply (non-affine index, triangular nest, or a
-/// raw index range that can wrap around the array length).
+/// symbolic model does not apply (non-affine index, or a raw index range
+/// that can wrap around the array length). Triangular nests are widened to
+/// their rectangular hull ([`hull_bounds`]) — sound for the one-sided
+/// proofs, at the price of possibly missing proofs near the cut corner.
 pub fn classify_accesses(
     spec: &KernelSpec,
     load_index: &Expr,
@@ -326,7 +367,10 @@ pub fn classify_accesses(
     ) else {
         return PairClass::Unknown;
     };
-    let Some(bounds) = rect_bounds(&spec.levels) else {
+    // The rectangular hull over-approximates triangular nests, which is
+    // sound for every one-sided proof below (disjointness, same-iteration
+    // confinement, and the wrap guard).
+    let Some(bounds) = hull_bounds(&spec.levels) else {
         return PairClass::Unknown;
     };
     if bounds.iter().any(|&(l, u)| u < l) {
@@ -513,6 +557,53 @@ mod tests {
         assert_eq!(
             classify_accesses(&spec, &Expr::var(1), &Expr::var(1), a),
             PairClass::Unknown
+        );
+    }
+
+    #[test]
+    fn hull_widens_triangular_nests_soundly() {
+        use prevv_dataflow::components::Bound;
+        // i in 0..4, j in i..4: hull is the box [0,3] x [0,3].
+        let levels = vec![
+            prevv_dataflow::components::LoopLevel::upto(4),
+            prevv_dataflow::components::LoopLevel::new(Bound::OuterPlus(0, 0), Bound::Const(4)),
+        ];
+        assert_eq!(hull_bounds(&levels), Some(vec![(0, 3), (0, 3)]));
+        // The hull agrees with rect_bounds on rectangular nests.
+        let rect = vec![
+            prevv_dataflow::components::LoopLevel::upto(4),
+            prevv_dataflow::components::LoopLevel::upto(7),
+        ];
+        assert_eq!(hull_bounds(&rect), rect_bounds(&rect));
+    }
+
+    #[test]
+    fn hull_proves_disjointness_on_triangular_nests() {
+        use prevv_dataflow::components::Bound;
+        // The same triangular nest the previous test refuses for the
+        // reused-cell pair now *proves* a shifted pair disjoint: load a[j],
+        // store a[j + 4] with j in [0, 3] — ranges [0,3] vs [4,7].
+        let a = ArrayId(0);
+        let spec = KernelSpec::new(
+            "tri",
+            vec![
+                prevv_dataflow::components::LoopLevel::upto(4),
+                prevv_dataflow::components::LoopLevel::new(
+                    Bound::OuterPlus(0, 0),
+                    Bound::Const(4),
+                ),
+            ],
+            vec![ArrayDecl::zeroed("a", 8)],
+            vec![Stmt::store(
+                a,
+                Expr::var(1).add(Expr::lit(4)),
+                Expr::load(a, Expr::var(1)).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        assert_eq!(
+            classify_accesses(&spec, &Expr::var(1), &Expr::var(1).add(Expr::lit(4)), a),
+            PairClass::Disjoint
         );
     }
 }

@@ -45,7 +45,7 @@ lint_must_fail --no-fake-tokens kernels/bad/guarded_nofake.pvk
 lint_must_fail --circuit kernels/bad/undersized_queue.pvk
 lint_must_fail --circuit --controller direct kernels/bad/combinational_loop.pvk
 
-echo "==> protocol model checker (stock kernels must prove PV201-PV204 clean)"
+echo "==> protocol model checker (stock kernels must prove PV201-PV204 clean at the deep default)"
 out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
     --protocol --format json kernels/*.pvk)
 echo "$out" | python3 -c '
@@ -53,14 +53,58 @@ import json, sys
 doc = json.load(sys.stdin)
 errors = doc["summary"]["errors"]
 nfiles = len(doc["files"])
+proto = doc["summary"]["protocol"]
 if errors:
     json.dump(doc, sys.stderr, indent=2)
     sys.exit(f"\nprotocol pass reported {errors} error(s) on stock kernels")
+if proto["truncated_by_budget"]:
+    sys.exit("state budget truncated the stock-kernel proof")
+states, ratio = proto["states"], proto["reduction_ratio"]
+discharged, conservative = proto["pairs"]["discharged"], proto["pairs"]["conservative"]
 print(f"    {nfiles} kernels protocol-clean within the exploration bound")
+print(f"    {states} states, reduction ratio {ratio}, "
+      f"{discharged}/{conservative} pairs discharged")
+'
+
+echo "==> protocol model checker (collision audit must count zero)"
+out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --protocol --mc-audit --format json kernels/*.pvk)
+echo "$out" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+collisions = doc["summary"]["protocol"]["audit_collisions"]
+if collisions != 0:
+    sys.exit(f"fingerprint collision audit counted {collisions} collision(s)")
+print("    0 fingerprint collisions across all stock kernels")
 '
 
 echo "==> protocol model checker (bad fixtures must each fail)"
 lint_must_fail --protocol --no-forwarding kernels/bad/replay_livelock.pvk
 lint_must_fail --protocol --depth 2 kernels/bad/queue_too_small_mc.pvk
+lint_must_fail --protocol --no-forwarding kernels/bad/deep_wedge.pvk
+
+echo "==> checker throughput -> BENCH_modelcheck.json"
+out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --protocol --mc-depth 6 --format json kernels/fig2a.pvk)
+echo "$out" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+proto = doc["summary"]["protocol"]
+bench = {
+    "bench": "modelcheck",
+    "workload": "fig2a --mc-depth 6",
+    "states": proto["states"],
+    "transitions": proto["transitions"],
+    "enabled": proto["enabled"],
+    "reduction_ratio": proto["reduction_ratio"],
+    "states_per_sec": proto["states_per_sec"],
+    "threads": proto["threads"],
+}
+with open("BENCH_modelcheck.json", "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+states, sps, ratio = proto["states"], proto["states_per_sec"], proto["reduction_ratio"]
+print(f"    {states} states at {sps:.0f} states/s (ratio {ratio})")
+'
 
 echo "verify: OK"

@@ -412,6 +412,69 @@ fn queue_too_small_fixture_is_pv203_with_short_counterexample() {
     );
 }
 
+/// The `kernels/bad/deep_wedge.pvk` fixture: a distance-2 cross-iteration
+/// hazard whose squash livelock (forwarding off) is only reachable once
+/// three iterations are in flight together. Proof the horizon moved: the
+/// old 2-iteration default proves it "clean"; the deeper default finds the
+/// PV202 lasso — pinned to code, severity, and trace length.
+#[test]
+fn deep_wedge_fixture_fails_only_at_the_deeper_horizon() {
+    let (name, source) = read_fixture("kernels/bad/deep_wedge.pvk");
+    let spec = parse_kernel(&name, &source).expect("parses");
+
+    let no_forwarding = PrevvConfig {
+        forwarding: false,
+        ..PrevvConfig::default()
+    };
+
+    // The old default horizon (2 iterations) never sees the colliding
+    // iterations in flight together: falsely clean.
+    let shallow = analyze::ProtocolOptions {
+        iterations: 2,
+        ..analyze::ProtocolOptions::for_config(&no_forwarding)
+    };
+    let clean = analyze::check_protocol(&spec, &shallow).expect("checks");
+    assert!(
+        !clean.report.has_errors(),
+        "a 2-iteration horizon cannot reach the wedge:\n{}",
+        clean.report.render(&name, Some(&source))
+    );
+
+    // The new default horizon (>= 3 iterations deep) reaches it.
+    let opts = analyze::ProtocolOptions::for_config(&no_forwarding);
+    let result = analyze::check_protocol(&spec, &opts).expect("checks");
+    assert!(result.report.has_errors());
+    let d = result.report.with_code(Code::SquashLivelock);
+    assert_eq!(d.len(), 1, "exactly one PV202: {:?}", result.report);
+    assert_eq!(d[0].severity, Severity::Error);
+    assert!(d[0].span.is_some(), "PV202 is span-annotated");
+
+    let cex = result
+        .counterexamples
+        .iter()
+        .find(|c| c.code == Code::SquashLivelock)
+        .expect("PV202 carries a counterexample");
+    assert!(
+        !cex.events.is_empty() && cex.events.len() <= 40,
+        "bounded lasso, got {} events",
+        cex.events.len()
+    );
+    assert!(cex.cycle_from.is_some(), "a livelock trace is a lasso");
+    let outcome = analyze::replay_counterexample(&spec, &opts, cex).expect("replays");
+    assert!(outcome.cycle_closed, "the lasso re-closes under replay");
+
+    // Forwarding (the default config) hands the premature load the resident
+    // store's value instead of squashing: the identical kernel is clean
+    // even at the deep horizon.
+    let defaults = analyze::ProtocolOptions::for_config(&PrevvConfig::default());
+    let forwarded = analyze::check_protocol(&spec, &defaults).expect("checks");
+    assert!(
+        !forwarded.report.has_errors(),
+        "forwarding resolves the wedge:\n{}",
+        forwarded.report.render(&name, Some(&source))
+    );
+}
+
 /// The symbolic GCD/Banerjee fast path alone proves every pair that
 /// brute-force enumeration proves on fig2a: all three affine `b` pairs are
 /// classified same-iteration-only (their collisions are program-order
