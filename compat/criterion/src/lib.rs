@@ -33,7 +33,10 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, mut f: F) {
-    let mut b = Bencher { iters, mean_ns: 0.0 };
+    let mut b = Bencher {
+        iters,
+        mean_ns: 0.0,
+    };
     f(&mut b);
     let (value, unit) = if b.mean_ns >= 1e6 {
         (b.mean_ns / 1e6, "ms")
@@ -54,12 +57,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -85,7 +92,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), iters: self.iters, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
     }
 }
 
@@ -157,7 +168,9 @@ mod tests {
         let mut g = c.benchmark_group("group");
         g.sample_size(5);
         g.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| b.iter(|| x * x));
-        g.bench_with_input(BenchmarkId::from_parameter("p"), &1u64, |b, &x| b.iter(|| x));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &1u64, |b, &x| {
+            b.iter(|| x)
+        });
         g.finish();
     }
 }

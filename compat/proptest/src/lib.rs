@@ -205,8 +205,7 @@ pub mod strategy {
     impl Strategy for &'static str {
         type Value = String;
         fn gen_value(&self, rng: &mut TestRng) -> String {
-            const ALPHABET: &[u8] =
-                b"abijn01349 \t\n(){}[];=+-*/%<>!&|,._#\"'\\int for if h_";
+            const ALPHABET: &[u8] = b"abijn01349 \t\n(){}[];=+-*/%<>!&|,._#\"'\\int for if h_";
             let len = rng.below(33) as usize;
             (0..len)
                 .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
@@ -237,14 +236,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty vec size range");
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -256,7 +261,10 @@ pub mod collection {
 
     /// Generates vectors with per-element strategy `elem` and length in `size`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -424,9 +432,9 @@ pub mod test_runner {
             match f(&mut rng) {
                 Ok(()) => successes += 1,
                 Err(TestCaseError::Reject) => {}
-                Err(TestCaseError::Fail(msg)) => panic!(
-                    "property '{name}' failed at case {successes} (seed {seed:#x}):\n{msg}"
-                ),
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property '{name}' failed at case {successes} (seed {seed:#x}):\n{msg}")
+                }
             }
         }
     }

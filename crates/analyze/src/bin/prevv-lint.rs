@@ -5,7 +5,7 @@
 //!            [--no-pair-reduction] [--circuit]
 //!            [--controller none|direct|prevv] [--protocol]
 //!            [--mc-depth N] [--mc-states N[k|m]] [--mc-threads N]
-//!            [--mc-audit] [--mc-no-por] [--no-forwarding]
+//!            [--mc-audit] [--mc-no-por] [--no-forwarding] [--perf]
 //!            [--deny-warnings] <file.pvk>...
 //! prevv-lint --explain PVxxx
 //! ```
@@ -25,9 +25,13 @@
 //! worker count (0 = all cores; any count produces identical results),
 //! `--mc-audit` enables the fingerprint collision audit, and
 //! `--mc-no-por` disables partial-order reduction (the unreduced
-//! oracle the reduction is cross-checked against). Findings from
-//! all passes fold into one report per file, rendered rustc-style
-//! (default) or as one JSON document for the whole run:
+//! oracle the reduction is cross-checked against). With `--perf` it runs
+//! the `PV4xx` static throughput pass: the synthesized netlist is modeled
+//! as a timed marked graph and its steady-state initiation-interval bound,
+//! critical cycle, and binding resource are reported (PV400) together with
+//! buffer-insertion (PV401) and queue-sizing (PV402) suggestions.
+//! Findings from all passes fold into one report per file, rendered
+//! rustc-style (default) or as one JSON document for the whole run:
 //!
 //! ```json
 //! {"files":[{"file":"...","report":{...}}, ...],
@@ -37,13 +41,18 @@
 //!                         "threads":N,"truncated_by_budget":B,
 //!                         "audit_collisions":N|null,"validated":N,
 //!                         "pairs":{"conservative":N,"discharged":N,
-//!                                  "must_alias":N,"residual":N}}}}
+//!                                  "must_alias":N,"residual":N}},
+//!             "perf":{"ii_bound":R,"predicted_ii":R,"predicted_cycles":N,
+//!                     "binding_resource":"...","critical_cycle":[...],
+//!                     "recommended_depth":N|null}}}
 //! ```
 //!
 //! The `summary.protocol` object (present only under `--protocol`)
 //! aggregates the exploration over all checked files — actual states
 //! explored, the partial-order reduction ratio, throughput, and the
-//! PV30x pair-class discharge.
+//! PV30x pair-class discharge. The `summary.perf` object (present only
+//! under `--perf`) carries the worst (highest-`ii_bound`) throughput
+//! verdict across the checked files.
 //!
 //! `--explain PVxxx` prints the documentation, severity, and a minimal
 //! triggering example for any diagnostic code and exits (status 2 for an
@@ -55,8 +64,8 @@
 
 use prevv_analyze::{
     check_protocol, diag::Code, diag::Diagnostic, explain_code, lint_source,
-    lint_source_with_circuit, AnalyzeOptions, CheckStats, CircuitOptions, ControllerModel,
-    ProtocolOptions, Severity,
+    lint_source_with_circuit, lint_source_with_perf, AnalyzeOptions, CheckStats, CircuitOptions,
+    ControllerModel, PerfOptions, PerfSummary, ProtocolOptions, Severity,
 };
 use prevv_core::PrevvConfig;
 
@@ -71,6 +80,7 @@ struct Args {
     opts: AnalyzeOptions,
     circuit: Option<CircuitOptions>,
     protocol: Option<ProtocolOptions>,
+    perf: Option<PerfOptions>,
     deny_warnings: bool,
 }
 
@@ -79,7 +89,7 @@ fn usage() -> ! {
         "usage: prevv-lint [--format text|json] [--depth N] [--no-fake-tokens] \
          [--no-pair-reduction] [--circuit] [--controller none|direct|prevv] \
          [--protocol] [--mc-depth N] [--mc-states N[k|m]] [--mc-threads N] \
-         [--mc-audit] [--mc-no-por] [--no-forwarding] \
+         [--mc-audit] [--mc-no-por] [--no-forwarding] [--perf] \
          [--deny-warnings] <file.pvk>...\n       prevv-lint --explain PVxxx"
     );
     std::process::exit(2);
@@ -99,7 +109,7 @@ fn run_explain(code: Option<String>) -> ! {
             std::process::exit(0);
         }
         None => {
-            eprintln!("unknown diagnostic code `{code}` (known: PV000..PV006, PV101..PV105, PV200..PV204, PV300..PV302)");
+            eprintln!("unknown diagnostic code `{code}` (known: PV000..PV006, PV101..PV105, PV200..PV204, PV300..PV302, PV400..PV403)");
             std::process::exit(2);
         }
     }
@@ -130,6 +140,7 @@ fn parse_args() -> Args {
     let mut mc_audit = false;
     let mut mc_por = true;
     let mut forwarding = true;
+    let mut want_perf = false;
     let mut deny_warnings = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -191,6 +202,7 @@ fn parse_args() -> Args {
                 want_protocol = true;
             }
             "--no-forwarding" => forwarding = false,
+            "--perf" => want_perf = true,
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => files.push(f.to_string()),
@@ -222,12 +234,21 @@ fn parse_args() -> Args {
         p.por = mc_por;
         p
     });
+    let perf = want_perf.then(|| PerfOptions {
+        config: PrevvConfig {
+            depth: opts.depth,
+            pair_reduction: opts.pair_reduction,
+            forwarding,
+            ..PrevvConfig::default()
+        },
+    });
     Args {
         files,
         format,
         opts,
         circuit,
         protocol,
+        perf,
         deny_warnings,
     }
 }
@@ -308,6 +329,7 @@ fn main() {
     let mut total_warnings = 0usize;
     let mut json_files = Vec::new();
     let mut protocol_summary: Option<ProtocolSummary> = None;
+    let mut perf_summary: Option<PerfSummary> = None;
     for path in &args.files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -320,9 +342,23 @@ fn main() {
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("kernel");
-        let mut report = match &args.circuit {
-            Some(circuit) => lint_source_with_circuit(name, &source, &args.opts, circuit),
-            None => lint_source(name, &source, &args.opts),
+        let mut report = match (&args.perf, &args.circuit) {
+            (Some(perf), circuit) => {
+                let (report, summary) =
+                    lint_source_with_perf(name, &source, &args.opts, circuit.as_ref(), perf);
+                // summary.perf keeps the worst verdict across the run.
+                if let Some(s) = summary {
+                    let worse = perf_summary
+                        .as_ref()
+                        .is_none_or(|prev| s.ii_bound > prev.ii_bound);
+                    if worse {
+                        perf_summary = Some(s);
+                    }
+                }
+                report
+            }
+            (None, Some(circuit)) => lint_source_with_circuit(name, &source, &args.opts, circuit),
+            (None, None) => lint_source(name, &source, &args.opts),
         };
         if let Some(protocol) = &args.protocol {
             // The protocol pass needs a parsed kernel; a PV000 in the base
@@ -367,8 +403,11 @@ fn main() {
         let protocol = protocol_summary
             .as_ref()
             .map_or(String::new(), |p| format!(",\"protocol\":{}", p.to_json()));
+        let perf = perf_summary
+            .as_ref()
+            .map_or(String::new(), |p| format!(",\"perf\":{}", p.to_json()));
         println!(
-            "{{\"files\":[{}],\"summary\":{{\"errors\":{total_errors},\"warnings\":{total_warnings}{protocol}}}}}",
+            "{{\"files\":[{}],\"summary\":{{\"errors\":{total_errors},\"warnings\":{total_warnings}{protocol}{perf}}}}}",
             json_files.join(",")
         );
     }

@@ -125,7 +125,13 @@ impl CircuitGraph {
     }
 
     /// Adds one extra node consuming `inputs` and producing `outputs`.
-    fn add_virtual(&mut self, name: &str, capacity: usize, inputs: &[ChannelId], outputs: &[ChannelId]) {
+    fn add_virtual(
+        &mut self,
+        name: &str,
+        capacity: usize,
+        inputs: &[ChannelId],
+        outputs: &[ChannelId],
+    ) {
         let idx = self.names.len();
         self.names.push(name.to_string());
         self.caps.push(capacity);
@@ -207,7 +213,9 @@ impl CircuitGraph {
                             describe(cons)
                         ),
                     )
-                    .with_help("fan out explicitly with a Fork — shared ready wires corrupt the handshake"),
+                    .with_help(
+                        "fan out explicitly with a Fork — shared ready wires corrupt the handshake",
+                    ),
                 );
             }
         }
@@ -231,8 +239,7 @@ impl CircuitGraph {
     fn check_cycles(&self, report: &mut Report) {
         let succ = self.successors();
         for scc in tarjan_sccs(&succ) {
-            let cyclic = scc.len() > 1
-                || succ[scc[0]].contains(&scc[0]);
+            let cyclic = scc.len() > 1 || succ[scc[0]].contains(&scc[0]);
             if !cyclic {
                 continue;
             }
@@ -428,7 +435,10 @@ fn iteration_frontier(synth: &SynthesizedKernel) -> usize {
     let mut note = |cap: usize| {
         min_slack = Some(min_slack.map_or(cap, |m| m.min(cap)));
     };
-    for (_, _, comp) in net.iter().filter(|(_, _, c)| c.type_name() == "iter_source") {
+    for (_, _, comp) in net
+        .iter()
+        .filter(|(_, _, c)| c.type_name() == "iter_source")
+    {
         for out in comp.ports().outputs {
             if out == synth.interface.alloc_in {
                 continue; // consumed by the controller, sized separately

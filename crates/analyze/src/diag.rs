@@ -67,6 +67,20 @@ pub enum Code {
     /// iteration pair (must-alias): the arbiter validation is guaranteed
     /// live, not defensive.
     MustAlias,
+    /// `PV400` — the static steady-state initiation-interval bound of the
+    /// synthesized circuit, with the critical cycle (or binding memory
+    /// resource) that sets it.
+    ThroughputBound,
+    /// `PV401` — a zero-slack backpressure cycle: the critical cycle is
+    /// capacity-bound and a buffer insertion would raise throughput.
+    SlacklessCycle,
+    /// `PV402` — throughput is bound by premature-queue/arbiter
+    /// serialization rather than compute; a deeper queue shifts the
+    /// bottleneck back to the datapath.
+    QueueBound,
+    /// `PV403` — the measured initiation interval diverged from the static
+    /// prediction beyond tolerance (model self-check).
+    ModelDivergence,
 }
 
 impl Code {
@@ -93,6 +107,10 @@ impl Code {
             Code::SeparationHorizon => "PV300",
             Code::ProvenDisjoint => "PV301",
             Code::MustAlias => "PV302",
+            Code::ThroughputBound => "PV400",
+            Code::SlacklessCycle => "PV401",
+            Code::QueueBound => "PV402",
+            Code::ModelDivergence => "PV403",
         }
     }
 }
@@ -339,6 +357,10 @@ mod tests {
         assert_eq!(Code::SeparationHorizon.as_str(), "PV300");
         assert_eq!(Code::ProvenDisjoint.as_str(), "PV301");
         assert_eq!(Code::MustAlias.as_str(), "PV302");
+        assert_eq!(Code::ThroughputBound.as_str(), "PV400");
+        assert_eq!(Code::SlacklessCycle.as_str(), "PV401");
+        assert_eq!(Code::QueueBound.as_str(), "PV402");
+        assert_eq!(Code::ModelDivergence.as_str(), "PV403");
     }
 
     #[test]
@@ -376,8 +398,7 @@ mod tests {
     #[test]
     fn diagnostic_json_carries_line_and_column() {
         let src = "int a[4];\nfor (int i = 0; i < 4; ++i) {\n  a[i] = 1;\n}\n";
-        let d = Diagnostic::note(Code::DisjointPair, "bypassed")
-            .with_span(Some(Span::new(42, 46)));
+        let d = Diagnostic::note(Code::DisjointPair, "bypassed").with_span(Some(Span::new(42, 46)));
         let j = d.to_json(Some(src));
         assert!(j.contains("\"code\":\"PV004\""));
         assert!(j.contains("\"severity\":\"note\""));

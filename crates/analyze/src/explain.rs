@@ -284,6 +284,66 @@ pub const ALL: &[Explanation] = &[
               disabled the classic PV202 livelock shape.",
         example: "int a[4];\nfor (int i = 0; i < 8; ++i) { a[0] = a[0] + 1; }",
     },
+    Explanation {
+        code: Code::ThroughputBound,
+        title: "static steady-state initiation-interval bound",
+        severity: "note",
+        doc: "The PV4xx pass models the synthesized netlist as a timed \
+              marked graph (component latency = edge weight, capacity = \
+              initial tokens on the back edge) and computes the steady-state \
+              initiation-interval bound as the maximum cycle ratio, joined \
+              with the memory controller's analytic port/validation/retire \
+              limits. The note names the bound, the binding resource, and — \
+              when a circuit cycle binds — renders the critical cycle \
+              component by component. The bound is sound: measured II can \
+              only be equal or worse.",
+        example: "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] = a[i] + 1; \
+                  }\n\nflags: --circuit --perf",
+    },
+    Explanation {
+        code: Code::SlacklessCycle,
+        title: "zero-slack backpressure cycle",
+        severity: "warning",
+        doc: "The critical cycle's ratio is set by its token capacity, not \
+              its latency: every slot on the cycle is needed every \
+              traversal, so any downstream hiccup backpressures the whole \
+              loop (zero slack). Inserting an elastic buffer on the named \
+              channel raises the cycle's capacity and therefore its \
+              sustainable throughput. The warning names the exact channel \
+              where one buffer helps most.",
+        example: "(circuit-level: a feedback loop whose buffer capacity \
+                  equals the tokens in flight; see \
+                  tests in analyze::perf for a closed-form instance)",
+    },
+    Explanation {
+        code: Code::QueueBound,
+        title: "premature-queue/arbiter serialization binds throughput",
+        severity: "warning",
+        doc: "The initiation interval is set by premature-queue admission or \
+              arbiter validation serialization, not by the datapath: the \
+              in-flight iteration frontier outruns what the queue can hold \
+              until retirement. Unlike a port limit this is configuration, \
+              not hardware: the \u{a7}V-A sizing model names the depth at \
+              which the bottleneck shifts back to compute, and the warning \
+              reports it.",
+        example: "kernels/bad/throughput_cliff.pvk\n\nflags: --circuit \
+                  --perf --depth 4",
+    },
+    Explanation {
+        code: Code::ModelDivergence,
+        title: "measured II diverged from the static prediction",
+        severity: "warning",
+        doc: "A simulation ran alongside the static model and the measured \
+              initiation interval differs from the predicted one beyond \
+              tolerance. Under-prediction beyond the squash allowance means \
+              the timed-marked-graph model is missing a serialization (a \
+              model bug worth reporting); measured II *below* the sound \
+              bound should be impossible and indicates a soundness hole. \
+              Emitted by `runkernel` after a run, not by the static lint \
+              alone.",
+        example: "(runtime: `runkernel kernels/fig2a.pvk --stats` prints \
+                  predicted vs measured II and raises PV403 on divergence)",
+    },
 ];
 
 /// Looks up one code by its `PVxxx` string (case-insensitive).
@@ -321,10 +381,14 @@ mod tests {
                 | Code::ReductionUnsound
                 | Code::SeparationHorizon
                 | Code::ProvenDisjoint
-                | Code::MustAlias => {}
+                | Code::MustAlias
+                | Code::ThroughputBound
+                | Code::SlacklessCycle
+                | Code::QueueBound
+                | Code::ModelDivergence => {}
             }
         }
-        assert_eq!(ALL.len(), 20, "one entry per Code variant");
+        assert_eq!(ALL.len(), 24, "one entry per Code variant");
         // No duplicates, sorted by code string.
         let strs: Vec<_> = ALL.iter().map(|e| e.code.as_str()).collect();
         let mut sorted = strs.clone();

@@ -27,6 +27,10 @@
 //! | PV300 | note     | separation horizon: pairs left to the dynamic arbiter |
 //! | PV301 | note     | pair footprints proven separate — discharged before model checking |
 //! | PV302 | note     | pair footprints must-alias — validation provably live |
+//! | PV400 | note     | perf: steady-state II bound + binding resource (+ critical cycle) |
+//! | PV401 | warning  | perf: zero-slack backpressure cycle; buffer insertion suggested |
+//! | PV402 | warning  | perf: premature-queue/arbiter serialization binds throughput |
+//! | PV403 | warning  | perf: measured II diverged from the static prediction |
 //!
 //! The `PV0xx` lints run on the kernel; the `PV1xx` lints ([`circuit`])
 //! run on the synthesized netlist via the channel-graph introspection API
@@ -38,8 +42,12 @@
 //! tests), which lets the lint families scale past enumerable iteration
 //! spaces; the `PV3xx` notes ([`seplog`]) are the separation-logic-style
 //! disjointness prover that discharges whole pair-classes before they reach
-//! the arbiter or the model checker. [`explain`] documents every code with
-//! a minimal triggering example (`prevv-lint --explain PVxxx`).
+//! the arbiter or the model checker; the `PV4xx` lints ([`perf`]) model
+//! the synthesized netlist as a timed marked graph and bound its
+//! steady-state initiation interval (maximum cycle ratio plus the
+//! controller's port/validation/retire budgets). [`explain`] documents
+//! every code with a minimal triggering example (`prevv-lint --explain
+//! PVxxx`).
 //!
 //! [`synthesize`] is the checked front door: it runs the analyzer and
 //! refuses kernels with any error-severity finding, attaching the report.
@@ -72,6 +80,7 @@ pub mod diag;
 pub mod explain;
 mod lints;
 pub mod modelcheck;
+pub mod perf;
 pub mod seplog;
 pub mod symdep;
 
@@ -81,6 +90,9 @@ pub use explain::{explain as explain_code, Explanation};
 pub use modelcheck::{
     check as check_protocol, replay as replay_counterexample, CheckResult, CheckStats,
     Counterexample, EventKind, ProtocolOptions, ReplayOutcome, TraceEvent,
+};
+pub use perf::{
+    analyze_perf, check_measured, lint_netlist_perf, lint_perf, PerfOptions, PerfSummary,
 };
 
 /// Configuration the analyzer checks the kernel against. Mirrors the knobs
@@ -104,6 +116,9 @@ pub struct AnalyzeOptions {
     /// additional pass in checked synthesis. `None` (the default) skips it —
     /// exhaustive exploration costs far more than the static lints.
     pub protocol: Option<ProtocolOptions>,
+    /// Run the PV4xx static throughput pass ([`lint_perf`]) as an
+    /// additional pass in checked synthesis. `None` (the default) skips it.
+    pub perf: Option<PerfOptions>,
 }
 
 impl Default for AnalyzeOptions {
@@ -115,6 +130,7 @@ impl Default for AnalyzeOptions {
             pair_reduction: cfg.pair_reduction,
             circuit_controller: None,
             protocol: None,
+            perf: None,
         }
     }
 }
@@ -199,6 +215,47 @@ pub fn lint_source_with_circuit(
     }
 }
 
+/// Lints kernel source text including the PV4xx throughput pass (and,
+/// when `circuit` is set, the PV1xx circuit lints): parses, runs
+/// [`analyze`], synthesizes unchecked, and appends the perf findings.
+/// Returns the report together with the [`PerfSummary`] when synthesis
+/// succeeded. This is what `prevv-lint --perf` runs per file.
+pub fn lint_source_with_perf(
+    name: &str,
+    source: &str,
+    opts: &AnalyzeOptions,
+    circuit: Option<&CircuitOptions>,
+    perf_opts: &PerfOptions,
+) -> (Report, Option<PerfSummary>) {
+    match prevv_ir::parse::parse_kernel(name, source) {
+        Ok(spec) => {
+            let mut report = analyze(&spec, opts);
+            let synth_opts = SynthOptions {
+                fake_tokens: opts.fake_tokens,
+                ..SynthOptions::default()
+            };
+            let mut summary = None;
+            if let Ok(synth) = prevv_ir::synthesize_with(&spec, &synth_opts) {
+                if let Some(circuit) = circuit {
+                    report
+                        .diagnostics
+                        .extend(lint_circuit(&synth, circuit).diagnostics);
+                }
+                summary = Some(lint_perf(&synth, perf_opts, &mut report));
+            }
+            (report, summary)
+        }
+        Err(e) => {
+            let mut r = Report::default();
+            r.push(
+                Diagnostic::error(Code::Parse, e.message.clone())
+                    .with_span(Some(prevv_ir::Span::point(e.at))),
+            );
+            (r, None)
+        }
+    }
+}
+
 /// Why checked synthesis refused a kernel.
 #[derive(Debug, Clone)]
 pub enum AnalyzeError {
@@ -272,6 +329,9 @@ pub fn synthesize_with(
         if report.has_errors() {
             return Err(AnalyzeError::Rejected(report));
         }
+    }
+    if let Some(perf_opts) = &analyze_opts.perf {
+        lint_perf(&synth, perf_opts, &mut report);
     }
     Ok((synth, report))
 }
@@ -424,7 +484,11 @@ mod tests {
             vec![ArrayDecl::zeroed("a", 4), ArrayDecl::zeroed("b", 16)],
             vec![
                 Stmt::store(b, Expr::var(0), heavy),
-                Stmt::store(a, Expr::lit(0), Expr::load(a, Expr::lit(0)).add(Expr::lit(1))),
+                Stmt::store(
+                    a,
+                    Expr::lit(0),
+                    Expr::load(a, Expr::lit(0)).add(Expr::lit(1)),
+                ),
             ],
         )
         .expect("valid");
@@ -468,7 +532,8 @@ mod tests {
     fn pv005_flags_unused_arrays_and_dead_stores() {
         // `b` is declared and never touched; the first store to a[0] is
         // overwritten by the second before anything reads it.
-        let src = "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[0] = i;\n  a[0] = 7;\n}\n";
+        let src =
+            "int a[8];\nint b[8];\nfor (int i = 0; i < 8; ++i) {\n  a[0] = i;\n  a[0] = 7;\n}\n";
         let spec = parse("dead", src);
         let r = analyze(&spec, &AnalyzeOptions::default());
         let d = r.with_code(Code::DeadStore);
@@ -479,7 +544,8 @@ mod tests {
 
     #[test]
     fn pv005_flags_never_executing_guards() {
-        let src = "int a[8];\nfor (int i = 0; i < 8; ++i) {\n  if (i < 0) a[i] = 1;\n  a[i] = 2;\n}\n";
+        let src =
+            "int a[8];\nfor (int i = 0; i < 8; ++i) {\n  if (i < 0) a[i] = 1;\n  a[i] = 2;\n}\n";
         let spec = parse("neverrun", src);
         let r = analyze(&spec, &AnalyzeOptions::default());
         assert!(r
@@ -530,7 +596,10 @@ mod tests {
 
     #[test]
     fn checked_synthesis_rejects_errors_and_passes_clean_kernels() {
-        let bad = parse("oob", "int a[4];\nfor (int i = 0; i < 8; ++i) { a[i] = i; }\n");
+        let bad = parse(
+            "oob",
+            "int a[4];\nfor (int i = 0; i < 8; ++i) { a[i] = i; }\n",
+        );
         match synthesize(&bad) {
             Err(AnalyzeError::Rejected(r)) => {
                 assert!(r.has_errors());
@@ -539,7 +608,10 @@ mod tests {
             other => panic!("expected rejection, got {other:?}"),
         }
 
-        let good = parse("inc", "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] += 1; }\n");
+        let good = parse(
+            "inc",
+            "int a[8];\nfor (int i = 0; i < 8; ++i) { a[i] += 1; }\n",
+        );
         let (synth, report) = synthesize(&good).expect("clean kernel synthesizes");
         assert!(!report.has_errors());
         assert!(!synth.bypassed.is_empty(), "PV004 pair is bypassed");

@@ -242,8 +242,9 @@ pub(crate) fn check_depth(
         .iter()
         .map(|pair| {
             let stmt = &spec.body[deps.ops[pair.store].stmt];
-            let t_org =
-                expr_latency(&stmt.index, read_latency) + expr_latency(&stmt.value, read_latency) + 1.0;
+            let t_org = expr_latency(&stmt.index, read_latency)
+                + expr_latency(&stmt.value, read_latency)
+                + 1.0;
             let squash_probability = match distances
                 .iter()
                 .find(|d| d.pair == *pair)

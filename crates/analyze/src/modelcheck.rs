@@ -332,13 +332,14 @@ pub fn replay(
 ) -> Result<ReplayOutcome, String> {
     let model = Model::build(spec, opts)?;
     let mut st = model.initial();
+    let mut scratch = McState::hollow();
     let mut cycle_key = None;
     for (k, ev) in cex.events.iter().enumerate() {
         if Some(k) == cex.cycle_from {
             cycle_key = Some(st.key());
         }
-        match model.try_step(&st, ev.op) {
-            StepOutcome::Stepped { next, event, .. } => {
+        match model.try_step(&st, ev.op, &mut scratch) {
+            StepOutcome::Stepped { event, .. } => {
                 if event.kind != ev.kind || event.iter != ev.iter {
                     return Err(format!(
                         "event {}: expected {:?} of iteration {}, got {:?} of iteration {}",
@@ -349,7 +350,7 @@ pub fn replay(
                         event.iter
                     ));
                 }
-                st = *next;
+                std::mem::swap(&mut st, &mut scratch);
             }
             blocked => {
                 return Err(format!(
@@ -364,7 +365,7 @@ pub fn replay(
     let mut any = false;
     let mut adm = false;
     for op in 0..model.ops.len() {
-        match model.try_step(&st, op) {
+        match model.try_step(&st, op, &mut scratch) {
             StepOutcome::Stepped { .. } => any = true,
             StepOutcome::BlockedAdmission => adm = true,
             _ => {}
@@ -490,7 +491,7 @@ impl FpTable {
 
 /// One abstract state: the shared protocol state, the per-port issue
 /// cursor (next iteration each static op will process), and the RAM image.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct McState {
     proto: ProtocolState,
     issued: Vec<u64>,
@@ -499,17 +500,46 @@ struct McState {
 
 type StateKey = (ProtocolKey, Vec<u64>, Vec<Value>);
 
+impl Clone for McState {
+    fn clone(&self) -> Self {
+        McState {
+            proto: self.proto.clone(),
+            issued: self.issued.clone(),
+            ram: self.ram.clone(),
+        }
+    }
+
+    /// Field-wise assignment so every buffer of a recycled scratch state is
+    /// reused. [`Model::try_step`] runs this once per explored transition —
+    /// the hottest line of the whole checker — and the derived fallback
+    /// would turn each one into four fresh allocations.
+    fn clone_from(&mut self, source: &Self) {
+        self.proto.clone_from(&source.proto);
+        self.issued.clone_from(&source.issued);
+        self.ram.clone_from(&source.ram);
+    }
+}
+
 impl McState {
     fn key(&self) -> StateKey {
         (self.proto.key(), self.issued.clone(), self.ram.clone())
     }
+
+    /// A buffer-less placeholder left behind when a scratch state is moved
+    /// out into the frontier; the next `clone_from` refills it.
+    fn hollow() -> McState {
+        McState {
+            proto: ProtocolState::new(1),
+            issued: Vec::new(),
+            ram: Vec::new(),
+        }
+    }
 }
 
 enum StepOutcome {
-    /// The op has a unique enabled transition. The successor is boxed so
-    /// the blocked variants stay pointer-sized.
+    /// The op has a unique enabled transition; the successor state has been
+    /// written into the caller's scratch buffer.
     Stepped {
-        next: Box<McState>,
         event: TraceEvent,
         squash: bool,
         /// The arrival is a §V-B-eliminated op whose full-set verdict was a
@@ -609,7 +639,8 @@ struct Model<'a> {
 
 impl<'a> Model<'a> {
     fn build(spec: &'a KernelSpec, opts: &ProtocolOptions) -> Result<Self, String> {
-        spec.validate().map_err(|e| format!("invalid kernel: {e}"))?;
+        spec.validate()
+            .map_err(|e| format!("invalid kernel: {e}"))?;
         let synth = prevv_ir::synthesize(spec).map_err(|e| format!("synthesis failed: {e}"))?;
         let iface = &synth.interface;
 
@@ -720,8 +751,7 @@ impl<'a> Model<'a> {
                     continue;
                 }
                 let class = classify_accesses(spec, &ops[p].index, &ops[q].index, ops[p].array);
-                let operand_forced =
-                    operand_range(p).contains(&q) || operand_range(q).contains(&p);
+                let operand_forced = operand_range(p).contains(&q) || operand_range(q).contains(&p);
                 match class {
                     PairClass::Disjoint => {}
                     PairClass::SameIterationOnly if operand_forced => {}
@@ -833,7 +863,11 @@ impl<'a> Model<'a> {
     /// application is a sound state-space reduction.
     fn housekeeping(&self, st: &mut McState) {
         loop {
-            let before = (st.proto.frontier, st.proto.next_commit, st.proto.queue.len());
+            let before = (
+                st.proto.frontier,
+                st.proto.next_commit,
+                st.proto.queue.len(),
+            );
             st.proto.advance_frontier(self.ports, u64::MAX);
             loop {
                 match st.proto.commit_step(&self.store_seqs, true) {
@@ -843,7 +877,12 @@ impl<'a> Model<'a> {
                 }
             }
             st.proto.retire(st.proto.queue.len());
-            if (st.proto.frontier, st.proto.next_commit, st.proto.queue.len()) == before {
+            if (
+                st.proto.frontier,
+                st.proto.next_commit,
+                st.proto.queue.len(),
+            ) == before
+            {
                 break;
             }
         }
@@ -916,7 +955,15 @@ impl<'a> Model<'a> {
         }
     }
 
-    fn describe(&self, op: usize, iter: u64, kind: EventKind, addr: Option<usize>, value: Value, from: Option<u64>) -> String {
+    fn describe(
+        &self,
+        op: usize,
+        iter: u64,
+        kind: EventKind,
+        addr: Option<usize>,
+        value: Value,
+        from: Option<u64>,
+    ) -> String {
         let label = &self.labels[op];
         let place = addr.map(|a| {
             let ai = self.array_of_addr[a];
@@ -943,7 +990,15 @@ impl<'a> Model<'a> {
         }
     }
 
-    fn event(&self, op: usize, iter: u64, kind: EventKind, addr: Option<usize>, value: Value, from: Option<u64>) -> TraceEvent {
+    fn event(
+        &self,
+        op: usize,
+        iter: u64,
+        kind: EventKind,
+        addr: Option<usize>,
+        value: Value,
+        from: Option<u64>,
+    ) -> TraceEvent {
         TraceEvent {
             op,
             iter,
@@ -985,8 +1040,11 @@ impl<'a> Model<'a> {
         }
     }
 
-    /// The unique transition of `op` from `st`, if enabled.
-    fn try_step(&self, st: &McState, op: usize) -> StepOutcome {
+    /// The unique transition of `op` from `st`, if enabled. The successor
+    /// is written into `next`, a caller-owned scratch state whose buffers
+    /// are recycled across calls ([`McState::clone_from`]); blocked
+    /// outcomes leave `next` untouched and allocate nothing.
+    fn try_step(&self, st: &McState, op: usize, next: &mut McState) -> StepOutcome {
         let iter = st.issued[op];
         if iter >= self.bound {
             return StepOutcome::Exhausted;
@@ -996,22 +1054,30 @@ impl<'a> Model<'a> {
             if !self.fake_tokens {
                 // The op sends nothing at all: the iteration can never
                 // complete at the frontier (the §V-C deadlock).
-                let mut next = st.clone();
+                next.clone_from(st);
                 next.issued[op] = iter + 1;
                 let event = self.event(op, iter, EventKind::Skip, None, 0, None);
-                return StepOutcome::Stepped { next: Box::new(next), event, squash: false, reduction_escape: false };
+                return StepOutcome::Stepped {
+                    event,
+                    squash: false,
+                    reduction_escape: false,
+                };
             }
             if !st.proto.can_admit(iter, self.ports, 0) {
                 return StepOutcome::BlockedAdmission;
             }
-            let mut next = st.clone();
+            next.clone_from(st);
             next.proto.note_admitted(iter);
             next.proto
                 .record_arrival(PrematureRecord::fake(op, o.kind, Tag::new(iter), o.seq));
             next.issued[op] = iter + 1;
-            self.housekeeping(&mut next);
+            self.housekeeping(next);
             let event = self.event(op, iter, EventKind::Fake, None, 0, None);
-            return StepOutcome::Stepped { next: Box::new(next), event, squash: false, reduction_escape: false };
+            return StepOutcome::Stepped {
+                event,
+                squash: false,
+                reduction_escape: false,
+            };
         }
         if self.operands(op).any(|q| st.issued[q] <= iter) {
             return StepOutcome::BlockedOperand;
@@ -1026,7 +1092,7 @@ impl<'a> Model<'a> {
         } else {
             Verdict::Clean
         };
-        let mut next = st.clone();
+        next.clone_from(st);
         next.proto.note_admitted(iter);
         next.issued[op] = iter + 1;
         let mut reduction_escape = false;
@@ -1043,19 +1109,29 @@ impl<'a> Model<'a> {
             Verdict::Squash(viol) => {
                 // The §V-B reduction exempts this op from validation; a
                 // squash verdict here is one the reduced set would miss.
-                reduction_escape =
-                    self.cfg.pair_reduction && !self.reduced.contains(&op);
+                reduction_escape = self.cfg.pair_reduction && !self.reduced.contains(&op);
                 next.proto.record_arrival(rec);
                 next.proto.flush(viol.from_iter);
                 for i in next.issued.iter_mut() {
                     *i = (*i).min(viol.from_iter);
                 }
-                self.event(op, iter, EventKind::Squash, Some(addr), value, Some(viol.from_iter))
+                self.event(
+                    op,
+                    iter,
+                    EventKind::Squash,
+                    Some(addr),
+                    value,
+                    Some(viol.from_iter),
+                )
             }
         };
         let squash = event.kind == EventKind::Squash;
-        self.housekeeping(&mut next);
-        StepOutcome::Stepped { next: Box::new(next), event, squash, reduction_escape }
+        self.housekeeping(next);
+        StepOutcome::Stepped {
+            event,
+            squash,
+            reduction_escape,
+        }
     }
 
     fn classify(&self, st: &McState, blocked: &[(usize, u64)]) -> DeadCause {
@@ -1075,13 +1151,33 @@ impl<'a> Model<'a> {
 
     /// Expands one state. When partial-order reduction applies, the result
     /// holds the single ample successor; otherwise all of them.
-    fn expand_state(&self, st: &McState) -> StateResult {
-        let statuses: Vec<OpStatus> =
-            (0..self.ops.len()).map(|op| self.op_status(st, op)).collect();
+    ///
+    /// `pool` holds retired states whose buffers are recycled:
+    /// [`Model::try_step`] assigns into a pooled scratch via `clone_from`
+    /// instead of cloning fresh, so in steady state successor construction
+    /// costs no allocation at all — the ring, issue cursors and RAM image
+    /// of a previously discarded state are overwritten in place. Kept
+    /// successors are moved out whole and replaced from the pool.
+    fn expand_state(&self, st: &McState, pool: &mut Vec<McState>) -> StateResult {
+        let mut scratch = pool.pop().unwrap_or_else(McState::hollow);
+        let result = self.expand_state_with(st, pool, &mut scratch);
+        pool.push(scratch);
+        result
+    }
+
+    fn expand_state_with(
+        &self,
+        st: &McState,
+        pool: &mut Vec<McState>,
+        scratch: &mut McState,
+    ) -> StateResult {
+        let statuses: Vec<OpStatus> = (0..self.ops.len())
+            .map(|op| self.op_status(st, op))
+            .collect();
         let enabled_count = statuses.iter().filter(|&&s| s == OpStatus::Enabled).count();
 
         if self.por && enabled_count > 1 {
-            if let Some(res) = self.try_ample(st, &statuses, enabled_count) {
+            if let Some(res) = self.try_ample(st, &statuses, enabled_count, pool, scratch) {
                 return res;
             }
         }
@@ -1091,22 +1187,31 @@ impl<'a> Model<'a> {
         let mut escape = None;
         let mut squash_cands = Vec::new();
         for op in 0..self.ops.len() {
-            match self.try_step(st, op) {
-                StepOutcome::Stepped { next, event, squash, reduction_escape } => {
+            match self.try_step(st, op, scratch) {
+                StepOutcome::Stepped {
+                    event,
+                    squash,
+                    reduction_escape,
+                } => {
                     if reduction_escape && escape.is_none() {
                         escape = Some(event.clone());
                     }
                     if squash
-                        && next.proto.frontier == st.proto.frontier
-                        && next.proto.next_commit == st.proto.next_commit
+                        && scratch.proto.frontier == st.proto.frontier
+                        && scratch.proto.next_commit == st.proto.next_commit
                     {
                         // A squash that made no frontier/commit progress can
                         // close a livelock cycle (both quantities are
                         // monotone, so a cycle holds them constant).
-                        squash_cands.push(((*next).clone(), event));
+                        squash_cands.push((scratch.clone(), event));
                     }
-                    let fp = self.fingerprint(&next);
-                    succs.push(Succ { op, fp, state: *next });
+                    let fp = self.fingerprint(scratch);
+                    let replacement = pool.pop().unwrap_or_else(McState::hollow);
+                    succs.push(Succ {
+                        op,
+                        fp,
+                        state: std::mem::replace(scratch, replacement),
+                    });
                 }
                 StepOutcome::BlockedAdmission => blocked.push((op, st.issued[op])),
                 StepOutcome::BlockedOperand | StepOutcome::Exhausted => {}
@@ -1153,6 +1258,8 @@ impl<'a> Model<'a> {
         st: &McState,
         statuses: &[OpStatus],
         enabled_count: usize,
+        pool: &mut Vec<McState>,
+        scratch: &mut McState,
     ) -> Option<StateResult> {
         for p in 0..self.ops.len() {
             if statuses[p] != OpStatus::Enabled || !self.ample_ok[p] {
@@ -1161,31 +1268,47 @@ impl<'a> Model<'a> {
             if st.issued[p] <= st.proto.frontier {
                 continue;
             }
-            if !st.proto.can_admit(st.issued[p], self.ports, enabled_count - 1) {
+            if !st
+                .proto
+                .can_admit(st.issued[p], self.ports, enabled_count - 1)
+            {
                 continue;
             }
-            let StepOutcome::Stepped { next, squash, reduction_escape, .. } =
-                self.try_step(st, p)
+            let StepOutcome::Stepped {
+                squash,
+                reduction_escape,
+                ..
+            } = self.try_step(st, p, scratch)
             else {
                 continue;
             };
-            debug_assert!(!squash && !reduction_escape, "ample ops are never validated");
-            if next.proto.frontier != st.proto.frontier
-                || next.proto.next_commit != st.proto.next_commit
+            debug_assert!(
+                !squash && !reduction_escape,
+                "ample ops are never validated"
+            );
+            // Rejected candidates simply leave their successor in the
+            // scratch buffer for the next probe to overwrite.
+            if scratch.proto.frontier != st.proto.frontier
+                || scratch.proto.next_commit != st.proto.next_commit
             {
                 continue;
             }
             let persistent = (0..self.ops.len()).all(|q| {
                 q == p
                     || statuses[q] != OpStatus::Enabled
-                    || self.op_status(&next, q) == OpStatus::Enabled
+                    || self.op_status(scratch, q) == OpStatus::Enabled
             });
             if !persistent {
                 continue;
             }
-            let fp = self.fingerprint(&next);
+            let fp = self.fingerprint(scratch);
+            let replacement = pool.pop().unwrap_or_else(McState::hollow);
             return Some(StateResult {
-                succs: vec![Succ { op: p, fp, state: *next }],
+                succs: vec![Succ {
+                    op: p,
+                    fp,
+                    state: std::mem::replace(scratch, replacement),
+                }],
                 enabled: enabled_count as u32,
                 dead_blocked: None,
                 escape: None,
@@ -1200,10 +1323,18 @@ impl<'a> Model<'a> {
     /// fixed chunks from an atomic counter and the merge re-sorts by chunk
     /// index, so exploration is deterministic and single-threaded runs are
     /// byte-identical to multi-threaded ones.
-    fn expand_level(&self, level: &[(u64, McState)]) -> Vec<StateResult> {
+    ///
+    /// `pool` recycles retired state buffers (see [`Model::expand_state`]);
+    /// the sequential path threads it straight through, while parallel
+    /// workers keep thread-local pools (recycled states surface on the
+    /// merging thread and cannot cheaply cross back).
+    fn expand_level(&self, level: &[(u64, McState)], pool: &mut Vec<McState>) -> Vec<StateResult> {
         const CHUNK: usize = 256;
         if self.threads <= 1 || level.len() <= CHUNK {
-            return level.iter().map(|(_, st)| self.expand_state(st)).collect();
+            return level
+                .iter()
+                .map(|(_, st)| self.expand_state(st, pool))
+                .collect();
         }
         let nchunks = level.len().div_ceil(CHUNK);
         let counter = AtomicUsize::new(0);
@@ -1211,18 +1342,21 @@ impl<'a> Model<'a> {
             Mutex::new(Vec::with_capacity(nchunks));
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(nchunks) {
-                scope.spawn(|| loop {
-                    let c = counter.fetch_add(1, Ordering::Relaxed);
-                    if c >= nchunks {
-                        break;
+                scope.spawn(|| {
+                    let mut local_pool: Vec<McState> = Vec::new();
+                    loop {
+                        let c = counter.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        let lo = c * CHUNK;
+                        let hi = (lo + CHUNK).min(level.len());
+                        let out: Vec<StateResult> = level[lo..hi]
+                            .iter()
+                            .map(|(_, st)| self.expand_state(st, &mut local_pool))
+                            .collect();
+                        results.lock().expect("worker panicked").push((c, out));
                     }
-                    let lo = c * CHUNK;
-                    let hi = (lo + CHUNK).min(level.len());
-                    let out: Vec<StateResult> = level[lo..hi]
-                        .iter()
-                        .map(|(_, st)| self.expand_state(st))
-                        .collect();
-                    results.lock().expect("worker panicked").push((c, out));
                 });
             }
         });
@@ -1256,12 +1390,13 @@ impl<'a> Model<'a> {
     fn trace_to(&self, visited: &FpTable, init: &McState, fp: u64) -> Vec<TraceEvent> {
         let ops = self.ops_to(visited, fp);
         let mut st = init.clone();
+        let mut scratch = McState::hollow();
         let mut events = Vec::with_capacity(ops.len());
         for op in ops {
-            match self.try_step(&st, op) {
-                StepOutcome::Stepped { next, event, .. } => {
+            match self.try_step(&st, op, &mut scratch) {
+                StepOutcome::Stepped { event, .. } => {
                     events.push(event);
-                    st = *next;
+                    std::mem::swap(&mut st, &mut scratch);
                 }
                 // Unreachable short of a fingerprint collision; truncate
                 // deterministically rather than panic.
@@ -1291,6 +1426,7 @@ impl<'a> Model<'a> {
         let mut seen: HashSet<StateKey> = HashSet::from([v.key()]);
         let mut parent: Vec<Option<(usize, TraceEvent)>> = vec![None];
         let mut queue = VecDeque::from([0usize]);
+        let mut scratch = McState::hollow();
         while let Some(i) = queue.pop_front() {
             if *budget == 0 {
                 return None;
@@ -1298,13 +1434,14 @@ impl<'a> Model<'a> {
             *budget -= 1;
             let st = states[i].clone();
             for op in 0..self.ops.len() {
-                let StepOutcome::Stepped { next, event, .. } = self.try_step(&st, op) else {
+                let StepOutcome::Stepped { event, .. } = self.try_step(&st, op, &mut scratch)
+                else {
                     continue;
                 };
-                if (next.proto.frontier, next.proto.next_commit) != plane {
+                if (scratch.proto.frontier, scratch.proto.next_commit) != plane {
                     continue;
                 }
-                let key = next.key();
+                let key = scratch.key();
                 if key == target {
                     let mut events = Vec::new();
                     let mut j = i;
@@ -1317,7 +1454,7 @@ impl<'a> Model<'a> {
                     return Some(events);
                 }
                 if seen.insert(key) {
-                    states.push(*next);
+                    states.push(std::mem::replace(&mut scratch, McState::hollow()));
                     parent.push(Some((i, event)));
                     queue.push_back(states.len() - 1);
                 }
@@ -1350,8 +1487,12 @@ impl<'a> Model<'a> {
         let mut squash_cands: Vec<(u64, McState, McState, TraceEvent)> = Vec::new();
 
         let mut level: Vec<(u64, McState)> = vec![(init_fp, init.clone())];
+        // Retired states (duplicate successors, fully expanded parents) are
+        // recycled here so the expansion hot loop reuses their buffers
+        // instead of allocating fresh ones for every transition.
+        let mut pool: Vec<McState> = Vec::new();
         'levels: while !level.is_empty() {
-            let results = self.expand_level(&level);
+            let results = self.expand_level(&level, &mut pool);
             let mut next_level: Vec<(u64, McState)> = Vec::new();
             for (si, res) in results.into_iter().enumerate() {
                 let (st_fp, st) = &level[si];
@@ -1382,13 +1523,17 @@ impl<'a> Model<'a> {
                             truncated_by_budget = true;
                             break 'levels;
                         }
-                    } else if let Some(aud) = &audit {
-                        if aud.get(&succ.fp) != Some(&succ.state.key()) {
-                            audit_collisions += 1;
+                    } else {
+                        if let Some(aud) = &audit {
+                            if aud.get(&succ.fp) != Some(&succ.state.key()) {
+                                audit_collisions += 1;
+                            }
                         }
+                        pool.push(succ.state);
                     }
                 }
             }
+            pool.extend(level.drain(..).map(|(_, st)| st));
             level = next_level;
         }
 
@@ -1467,7 +1612,11 @@ impl<'a> Model<'a> {
                 ),
             };
             report.push(diag);
-            counterexamples.push(Counterexample { code, events, cycle_from: None });
+            counterexamples.push(Counterexample {
+                code,
+                events,
+                cycle_from: None,
+            });
         }
 
         // PV202: a squash edge u -> v that stayed in its (frontier,
@@ -1593,9 +1742,10 @@ fn sequential_ram(
                 let raw = eval(spec, bases, idx, row, ram);
                 ram[bases[a.0] + spec.resolve_index(*a, raw)]
             }
-            Expr::Binary(op, l, r) => {
-                op.apply(eval(spec, bases, l, row, ram), eval(spec, bases, r, row, ram))
-            }
+            Expr::Binary(op, l, r) => op.apply(
+                eval(spec, bases, l, row, ram),
+                eval(spec, bases, r, row, ram),
+            ),
             Expr::Opaque(f, x) => f.apply(eval(spec, bases, x, row, ram)),
         }
     }
@@ -1689,7 +1839,11 @@ mod tests {
         assert_eq!(r.report.with_code(Code::QueueWedge).len(), 1);
         let cex = &r.counterexamples[0];
         assert_eq!(cex.code, Code::QueueWedge);
-        assert!(cex.events.len() <= 25, "trace too long: {}", cex.events.len());
+        assert!(
+            cex.events.len() <= 25,
+            "trace too long: {}",
+            cex.events.len()
+        );
         let outcome = replay(&spec, &opts, cex).expect("trace replays");
         assert!(outcome.deadlock && outcome.admission_blocked);
 
@@ -1742,7 +1896,11 @@ mod tests {
             vec![
                 Stmt::store(a, Expr::lit(0), Expr::lit(5)),
                 Stmt::store(a, Expr::lit(1), Expr::lit(7)),
-                Stmt::store(b, Expr::var(0), Expr::load(a, Expr::var(0).opaque(OpaqueFn::new(3, 1)))),
+                Stmt::store(
+                    b,
+                    Expr::var(0),
+                    Expr::load(a, Expr::var(0).opaque(OpaqueFn::new(3, 1))),
+                ),
             ],
         )
         .expect("valid");
@@ -1800,12 +1958,18 @@ mod tests {
         );
         let one = check(
             &spec,
-            &ProtocolOptions { threads: 1, ..ProtocolOptions::default() },
+            &ProtocolOptions {
+                threads: 1,
+                ..ProtocolOptions::default()
+            },
         )
         .expect("checks");
         let four = check(
             &spec,
-            &ProtocolOptions { threads: 4, ..ProtocolOptions::default() },
+            &ProtocolOptions {
+                threads: 4,
+                ..ProtocolOptions::default()
+            },
         )
         .expect("checks");
         assert_eq!(digest(&one), digest(&four));
@@ -1850,8 +2014,14 @@ mod tests {
         ];
         for (spec, opts) in cases {
             let por = check(&spec, &opts).expect("checks");
-            let full = check(&spec, &ProtocolOptions { por: false, ..opts.clone() })
-                .expect("checks");
+            let full = check(
+                &spec,
+                &ProtocolOptions {
+                    por: false,
+                    ..opts.clone()
+                },
+            )
+            .expect("checks");
             let codes_of = |r: &CheckResult| {
                 let mut c: Vec<Code> = r.counterexamples.iter().map(|c| c.code).collect();
                 c.sort_by_key(|c| c.as_str().to_string());
@@ -1884,7 +2054,10 @@ mod tests {
         let por = check(&spec, &ProtocolOptions::default()).expect("checks");
         let full = check(
             &spec,
-            &ProtocolOptions { por: false, ..ProtocolOptions::default() },
+            &ProtocolOptions {
+                por: false,
+                ..ProtocolOptions::default()
+            },
         )
         .expect("checks");
         assert!(por.is_clean() && full.is_clean());
@@ -1905,7 +2078,10 @@ mod tests {
         );
         let r = check(
             &spec,
-            &ProtocolOptions { audit: true, ..ProtocolOptions::default() },
+            &ProtocolOptions {
+                audit: true,
+                ..ProtocolOptions::default()
+            },
         )
         .expect("checks");
         assert_eq!(r.stats.audit_collisions, Some(0));
@@ -1938,12 +2114,19 @@ mod tests {
         );
         let r = check(
             &spec,
-            &ProtocolOptions { max_states: 100, ..ProtocolOptions::default() },
+            &ProtocolOptions {
+                max_states: 100,
+                ..ProtocolOptions::default()
+            },
         )
         .expect("checks");
         assert!(!r.complete);
         assert!(r.stats.truncated_by_budget);
-        assert_eq!(r.report.with_code(Code::ProtocolBound).len(), 2, "horizon note + budget warning");
+        assert_eq!(
+            r.report.with_code(Code::ProtocolBound).len(),
+            2,
+            "horizon note + budget warning"
+        );
     }
 
     #[test]

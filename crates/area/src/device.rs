@@ -55,8 +55,7 @@ impl Device {
 
     /// Fit check with an explicit utilization ceiling.
     pub fn fits_with_margin(&self, r: Resources, ceiling: f64) -> bool {
-        (r.luts as f64) <= self.luts as f64 * ceiling
-            && (r.ffs as f64) <= self.ffs as f64 * ceiling
+        (r.luts as f64) <= self.luts as f64 * ceiling && (r.ffs as f64) <= self.ffs as f64 * ceiling
     }
 
     /// How many independent instances of the design fit (at the 80 %

@@ -145,7 +145,11 @@ pub fn controller_cost(synth: &SynthesizedKernel, kind: ControllerKind) -> Resou
     match kind {
         ControllerKind::Dynamatic { depth } => {
             lsq_instance_cost(depth) * n_arrays
-                + Resources::new(calib::LSQ_ALLOC_LUTS_PER_PORT * ports, 40 * ports, 2 * ports)
+                + Resources::new(
+                    calib::LSQ_ALLOC_LUTS_PER_PORT * ports,
+                    40 * ports,
+                    2 * ports,
+                )
         }
         ControllerKind::FastLsq { depth } => {
             // The fast-allocation plugin shares one LSQ per (dual-port)
@@ -174,8 +178,7 @@ pub fn controller_cost(synth: &SynthesizedKernel, kind: ControllerKind) -> Resou
             // Eq. 11: overlapped pairs double validation hardware — each
             // pair gets its own private queue and a mirrored arbiter for
             // every op shared with another pair.
-            (prevv_instance_cost(depth, 2, 2) + prevv_instance_cost(depth, 0, 0))
-                * pairs as u64
+            (prevv_instance_cost(depth, 2, 2) + prevv_instance_cost(depth, 0, 0)) * pairs as u64
         }
     }
 }
@@ -351,7 +354,10 @@ mod tests {
                 pair_reduction: true,
             },
         );
-        assert!(prevv < lsq, "PreVV removes the search logic: {prevv} vs {lsq}");
+        assert!(
+            prevv < lsq,
+            "PreVV removes the search logic: {prevv} vs {lsq}"
+        );
     }
 
     #[test]

@@ -31,9 +31,9 @@ mod device;
 mod estimate;
 mod model;
 
+pub use device::Device;
 pub use estimate::{
     ambiguous_array_count, clock_period_ns, controller_cost, datapath_cost, datapath_cost_of,
     estimate, lsq_instance_cost, prevv_instance_cost, ControllerKind, DesignReport,
 };
-pub use device::Device;
 pub use model::{CircuitInventory, Resources};

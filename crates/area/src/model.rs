@@ -65,7 +65,11 @@ impl Sum for Resources {
 
 impl std::fmt::Display for Resources {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} LUT / {} FF / {} mux", self.luts, self.ffs, self.muxes)
+        write!(
+            f,
+            "{} LUT / {} FF / {} mux",
+            self.luts, self.ffs, self.muxes
+        )
     }
 }
 
@@ -152,7 +156,9 @@ mod tests {
             vec![Stmt::store(
                 a,
                 Expr::var(0),
-                Expr::load(a, Expr::var(0)).mul(Expr::lit(3)).add(Expr::lit(1)),
+                Expr::load(a, Expr::var(0))
+                    .mul(Expr::lit(3))
+                    .add(Expr::lit(1)),
             )],
         )
         .expect("valid");

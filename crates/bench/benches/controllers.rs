@@ -30,7 +30,11 @@ fn bench_histogram(c: &mut Criterion) {
 fn bench_paper_kernels_prevv(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper_prevv16");
     g.sample_size(10);
-    for spec in [paper::polyn_mult(10), paper::gaussian(6), paper::triangular(6)] {
+    for spec in [
+        paper::polyn_mult(10),
+        paper::gaussian(6),
+        paper::triangular(6),
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(spec.name.clone()),
             &spec,

@@ -56,14 +56,8 @@ fn bench_arbiter_walk(c: &mut Criterion) {
     for &depth in &[16usize, 64, 256] {
         let q = filled_queue(depth);
         let mut arb = Arbiter::new((0..8).collect(), true);
-        let arriving = PrematureRecord::real(
-            1,
-            MemOpKind::Store,
-            Tag::new(depth as u64 / 2),
-            1,
-            5,
-            999,
-        );
+        let arriving =
+            PrematureRecord::real(1, MemOpKind::Store, Tag::new(depth as u64 / 2), 1, 5, 999);
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
             b.iter(|| arb.validate(&q, &arriving));
         });

@@ -9,12 +9,12 @@
 //!
 //! Run with `cargo run --release -p prevv-bench --bin ablation -- <which>`.
 
+use prevv::kernels::{extra, paper};
+use prevv::prevv_core_crate::sizing::PairTiming;
 use prevv_bench::experiments::{
     bandwidth_sweep, deadlock_demo, depth_sweep, forwarding_ablation, scalability,
 };
 use prevv_bench::table::TextTable;
-use prevv::kernels::{extra, paper};
-use prevv::prevv_core_crate::sizing::PairTiming;
 
 fn run_depth_sweep() {
     println!("== depth_q sweep (paper §V-A) ==\n");

@@ -7,10 +7,10 @@
 //! cargo run --release -p prevv-bench --bin reproduce
 //! ```
 
+use prevv::RunError;
 use prevv_bench::experiments::{deadlock_demo, evaluate_grid, fig1};
 use prevv_bench::paper_data::{BENCHMARKS, FIG1_LSQ_SHARE};
 use prevv_bench::{geomean, pct};
-use prevv::RunError;
 
 struct Checks {
     passed: usize,
@@ -45,7 +45,10 @@ fn main() {
     c.check(
         "fig1.lsq_dominates",
         min_share > FIG1_LSQ_SHARE,
-        format!("minimum LSQ LUT share {:.1}% (paper: >80%)", min_share * 100.0),
+        format!(
+            "minimum LSQ LUT share {:.1}% (paper: >80%)",
+            min_share * 100.0
+        ),
     );
 
     // --- Tables I & II ------------------------------------------------------
@@ -122,7 +125,10 @@ fn main() {
     c.check(
         "table2.prevv16_pays_cycles",
         e16 > 1.0 && e16 < 1.6,
-        format!("PreVV16 exec time vs [8]: {} (paper ≈ +11% cycles)", pct(e16)),
+        format!(
+            "PreVV16 exec time vs [8]: {} (paper ≈ +11% cycles)",
+            pct(e16)
+        ),
     );
     c.check(
         "table2.prevv64_wins",
@@ -158,10 +164,7 @@ fn main() {
         Err(e) => c.check("sec5c.fake_tokens", false, format!("demo failed: {e}")),
     }
 
-    println!(
-        "\n{} checks passed, {} failed",
-        c.passed, c.failed
-    );
+    println!("\n{} checks passed, {} failed", c.passed, c.failed);
     if c.failed > 0 {
         std::process::exit(1);
     }

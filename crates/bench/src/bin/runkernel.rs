@@ -21,6 +21,7 @@ struct Args {
     controller: Controller,
     protocol: bool,
     mc_threads: usize,
+    stats: bool,
     dot: Option<String>,
     vcd: Option<String>,
 }
@@ -28,10 +29,13 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: runkernel <file.pvk> [--controller direct|dynamatic16|fast16|prevv<depth>] \
-         [--protocol] [--mc-threads <n>] [--dot <out.dot>] [--vcd <out.vcd>]"
+         [--protocol] [--mc-threads <n>] [--stats] [--dot <out.dot>] [--vcd <out.vcd>]"
     );
     std::process::exit(2);
 }
+
+/// The `--stats` table length: most-stalled channels worth printing.
+const TOP_STALLED: usize = 8;
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
@@ -39,11 +43,13 @@ fn parse_args() -> Args {
     let mut controller = Controller::Prevv(PrevvConfig::prevv16());
     let mut protocol = false;
     let mut mc_threads = 0usize;
+    let mut stats = false;
     let mut dot = None;
     let mut vcd = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--protocol" => protocol = true,
+            "--stats" => stats = true,
             "--mc-threads" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 mc_threads = v.parse().unwrap_or_else(|_| usage());
@@ -72,6 +78,7 @@ fn parse_args() -> Args {
         controller,
         protocol,
         mc_threads,
+        stats,
         dot,
         vcd,
     }
@@ -200,6 +207,28 @@ fn main() {
         spec.iteration_count()
     );
 
+    // PV4xx static throughput prediction — runs on the bare netlist (the
+    // perf pass models the premature queue itself), so it must happen
+    // before the controller component is attached below. Only the PreVV
+    // controller has a static model.
+    let perf = match &args.controller {
+        Controller::Prevv(cfg) => {
+            let mut perf_report = prevv::analyze::diag::Report::default();
+            let summary = prevv::analyze::lint_perf(
+                &synth,
+                &prevv::analyze::PerfOptions {
+                    config: cfg.clone(),
+                },
+                &mut perf_report,
+            );
+            if !perf_report.is_empty() {
+                println!("{}", perf_report.render(&args.path, Some(&source)));
+            }
+            Some(summary)
+        }
+        _ => None,
+    };
+
     // Watch memory-port channels if a VCD was requested.
     let watch: Vec<_> = synth
         .interface
@@ -234,8 +263,8 @@ fn main() {
             ram
         }
         Controller::FastLsq { depth } => {
-            let (c, ram) =
-                Lsq::new(synth.interface.clone(), LsqConfig::fast(*depth)).unwrap_or_else(|e| {
+            let (c, ram) = Lsq::new(synth.interface.clone(), LsqConfig::fast(*depth))
+                .unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(1);
                 });
@@ -261,6 +290,31 @@ fn main() {
             println!("wrote {path}");
         }
     }
+
+    // Channel endpoint labels for the --stats stall table, captured before
+    // the netlist moves into the simulator.
+    let chan_desc: Vec<String> = {
+        let mut labels: Vec<String> = vec![String::from("?"); synth.netlist.node_count()];
+        for (n, label, comp) in synth.netlist.iter() {
+            labels[n.index()] = format!("{label}({})", comp.type_name());
+        }
+        let ends = synth.netlist.channel_endpoints();
+        (0..synth.netlist.channel_count())
+            .map(|ch| {
+                let name = |nodes: &[prevv::dataflow::NodeId]| {
+                    nodes
+                        .first()
+                        .map_or("<open>", |n| labels[n.index()].as_str())
+                        .to_string()
+                };
+                format!(
+                    "{} -> {}",
+                    name(&ends.producers[ch]),
+                    name(&ends.consumers[ch])
+                )
+            })
+            .collect()
+    };
 
     let mut sim = match Simulator::new(synth.netlist, synth.bus) {
         Ok(s) => s.with_config(SimConfig::default()),
@@ -292,6 +346,33 @@ fn main() {
 
     println!("controller: {controller_name}");
     println!("simulation: {report}");
+    if let Some(summary) = &perf {
+        println!(
+            "throughput: measured II {:.2} over {} iterations vs predicted II {:.2} \
+             (sound bound {:.2}, binding resource {})",
+            summary.measured_ii(report.cycles),
+            summary.iterations,
+            summary.predicted_ii,
+            summary.ii_bound,
+            summary.binding_resource,
+        );
+        if let Some(d) = prevv::analyze::check_measured(summary, report.cycles) {
+            let mut r = prevv::analyze::diag::Report::default();
+            r.push(d);
+            println!("{}", r.render(&args.path, Some(&source)));
+        }
+    }
+    if args.stats && !report.stalled_channels.is_empty() {
+        println!("most-stalled channels (top {TOP_STALLED}):");
+        for (ch, stalls) in report.top_stalled(TOP_STALLED) {
+            println!(
+                "  c{:<4} {:>7} stall-cycle(s)  {}",
+                ch.index(),
+                stalls,
+                chan_desc.get(ch.index()).map_or("?", String::as_str)
+            );
+        }
+    }
     if let Some(d) = design {
         println!(
             "estimated:  {} @ CP {:.2} ns → {:.2} µs",
@@ -303,7 +384,12 @@ fn main() {
     println!("result matches golden model: {correct}");
     for (decl, arr) in spec.arrays.iter().zip(&arrays) {
         let preview: Vec<i64> = arr.iter().take(12).copied().collect();
-        println!("  {}[{}] = {preview:?}{}", decl.name, decl.len, if arr.len() > 12 { " …" } else { "" });
+        println!(
+            "  {}[{}] = {preview:?}{}",
+            decl.name,
+            decl.len,
+            if arr.len() > 12 { " …" } else { "" }
+        );
     }
 
     if let Some(path) = &args.vcd {

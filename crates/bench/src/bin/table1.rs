@@ -40,8 +40,7 @@ fn main() {
     let mut r16 = Vec::new();
     let mut r64 = Vec::new();
     for (bi, &bench) in BENCHMARKS.iter().enumerate() {
-        let cols = ["[15]", "[8]", "PreVV16", "PreVV64"]
-            .map(|c| get(bench, c).resources.luts);
+        let cols = ["[15]", "[8]", "PreVV16", "PreVV64"].map(|c| get(bench, c).resources.luts);
         let rat16 = cols[2] as f64 / cols[1] as f64;
         let rat64 = cols[3] as f64 / cols[1] as f64;
         r16.push(rat16);
@@ -78,8 +77,7 @@ fn main() {
     let mut f16 = Vec::new();
     let mut f64v = Vec::new();
     for (bi, &bench) in BENCHMARKS.iter().enumerate() {
-        let cols = ["[15]", "[8]", "PreVV16", "PreVV64"]
-            .map(|c| get(bench, c).resources.ffs);
+        let cols = ["[15]", "[8]", "PreVV16", "PreVV64"].map(|c| get(bench, c).resources.ffs);
         let rat16 = cols[2] as f64 / cols[1] as f64;
         let rat64 = cols[3] as f64 / cols[1] as f64;
         f16.push(rat16);

@@ -35,14 +35,7 @@ fn main() {
 
     for device in devices {
         println!("== {device} ==\n");
-        let mut t = TextTable::new(&[
-            "benchmark",
-            "config",
-            "LUTs",
-            "util",
-            "fits?",
-            "instances",
-        ]);
+        let mut t = TextTable::new(&["benchmark", "config", "LUTs", "util", "fits?", "instances"]);
         for spec in paper::all_default() {
             let synth = match synthesize(&spec) {
                 Ok(s) => s,

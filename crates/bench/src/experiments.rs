@@ -46,7 +46,11 @@ pub struct BenchPoint {
 /// # Errors
 ///
 /// Propagates [`RunError`] from synthesis or simulation.
-pub fn bench_point(spec: &KernelSpec, name: &str, ctrl: Controller) -> Result<BenchPoint, RunError> {
+pub fn bench_point(
+    spec: &KernelSpec,
+    name: &str,
+    ctrl: Controller,
+) -> Result<BenchPoint, RunError> {
     let e = evaluate(spec, ctrl)?;
     Ok(BenchPoint {
         kernel: spec.name.clone(),

@@ -184,9 +184,7 @@ impl Arbiter {
             if intervened {
                 continue;
             }
-            if load.value != store.value
-                && worst.is_none_or(|w| load.iter < w.from_iter)
-            {
+            if load.value != store.value && worst.is_none_or(|w| load.iter < w.from_iter) {
                 worst = Some(Violation {
                     from_iter: load.iter,
                     load_port: load.port,
@@ -336,14 +334,28 @@ mod tests {
         // Within one iteration, the order ROM (seq) decides: a load at seq 2
         // must observe the store at seq 1 of the same iteration.
         let mut q = PrematureQueue::new(8);
-        q.push(PrematureRecord::real(0, MemOpKind::Load, Tag::new(3), 2, 10, 0));
+        q.push(PrematureRecord::real(
+            0,
+            MemOpKind::Load,
+            Tag::new(3),
+            2,
+            10,
+            0,
+        ));
         let mut arb = arbiter();
         let st = PrematureRecord::real(1, MemOpKind::Store, Tag::new(3), 1, 10, 9);
         assert_eq!(arb.validate(&q, &st).squash_from(), Some(3));
         // The reverse order (store at seq 2, load at seq 1) is fine: the
         // load legitimately precedes the store.
         let mut q = PrematureQueue::new(8);
-        q.push(PrematureRecord::real(0, MemOpKind::Load, Tag::new(3), 1, 10, 0));
+        q.push(PrematureRecord::real(
+            0,
+            MemOpKind::Load,
+            Tag::new(3),
+            1,
+            10,
+            0,
+        ));
         let st = PrematureRecord::real(1, MemOpKind::Store, Tag::new(3), 2, 10, 9);
         assert_eq!(arb.validate(&q, &st), Verdict::Clean);
     }

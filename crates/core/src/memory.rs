@@ -331,7 +331,8 @@ impl PrevvMemory {
         }
         if rec.kind == MemOpKind::Load && !rec.fake {
             // Deliver the (premature) result downstream now.
-            self.io.push_result(rec.port, Token::tagged(rec.value, rec.tag));
+            self.io
+                .push_result(rec.port, Token::tagged(rec.value, rec.tag));
         }
         self.max_arrived_iter = self.max_arrived_iter.max(rec.iter);
         self.protocol.record_arrival(rec);
@@ -431,7 +432,9 @@ impl PrevvMemory {
             }
             // Fake tokens (either-or with the real arrival per iteration).
             while budget > 0 {
-                let Some(&f) = self.io.peek_fake(p) else { break };
+                let Some(&f) = self.io.peek_fake(p) else {
+                    break;
+                };
 
                 if !self.can_admit(f.tag.iter) {
                     self.local.queue_full_stalls += 1;
@@ -453,7 +456,9 @@ impl PrevvMemory {
                 // suggestion, which cannot express them.
                 #[allow(clippy::while_let_loop)]
                 loop {
-                    let Some(&a) = self.io.peek_addr(p) else { break };
+                    let Some(&a) = self.io.peek_addr(p) else {
+                        break;
+                    };
                     let addr = self.io.resolve(p, a.value);
                     if self.predictor_holds(p, a.tag.iter, addr) {
                         // A previous squash taught us this load races a
@@ -462,9 +467,7 @@ impl PrevvMemory {
                         self.local.predictor_holds += 1;
                         break;
                     }
-                    if self.conservative.contains(&a.tag.iter)
-                        && self.commit_iter() < a.tag.iter
-                    {
+                    if self.conservative.contains(&a.tag.iter) && self.commit_iter() < a.tag.iter {
                         // Livelock guard: wait until all older stores have
                         // committed before re-reading.
                         self.local.conservative_holds += 1;
@@ -521,8 +524,7 @@ impl PrevvMemory {
                 }
             } else {
                 while budget > 0 {
-                    let (Some(&a), Some(&d)) = (self.io.peek_addr(p), self.io.peek_data(p))
-                    else {
+                    let (Some(&a), Some(&d)) = (self.io.peek_addr(p), self.io.peek_data(p)) else {
                         break;
                     };
                     debug_assert_eq!(a.tag.iter, d.tag.iter, "store streams stay paired");
@@ -634,7 +636,11 @@ impl Component for PrevvMemory {
         self.publish_stats();
         self.cycles_seen += 1;
         if self.trace && self.cycles_seen.is_multiple_of(512) {
-            eprintln!("--- prevv @ {} commits ---\n{}", self.cycles_seen, self.debug_snapshot());
+            eprintln!(
+                "--- prevv @ {} commits ---\n{}",
+                self.cycles_seen,
+                self.debug_snapshot()
+            );
         }
     }
 
@@ -657,5 +663,11 @@ impl Component for PrevvMemory {
 
     fn capacity(&self) -> usize {
         self.config.depth
+    }
+
+    fn latency(&self) -> u32 {
+        // A load's best case short of a queue bypass: the RAM round-trip
+        // plus the arrival-processing commit that pushes its result.
+        self.config.timing.read_latency + 1
     }
 }

@@ -60,7 +60,7 @@ pub enum CommitStep {
 /// The pure protocol state: everything that decides progress, nothing that
 /// decides timing. Compare states via [`ProtocolState::key`], which is
 /// insensitive to physical queue geometry.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ProtocolState {
     /// The premature queue (paper Fig. 4).
     pub queue: PrematureQueue,
@@ -76,6 +76,28 @@ pub struct ProtocolState {
     /// Admitted-op counts per iteration (arrived plus loads in flight):
     /// input to the admission reservation.
     pub admitted: BTreeMap<u64, u32>,
+}
+
+impl Clone for ProtocolState {
+    fn clone(&self) -> Self {
+        ProtocolState {
+            queue: self.queue.clone(),
+            frontier: self.frontier,
+            next_commit: self.next_commit,
+            arrived: self.arrived.clone(),
+            admitted: self.admitted.clone(),
+        }
+    }
+
+    /// Field-wise assignment so the queue ring and map nodes are reused.
+    /// The model checker leans on this in its scratch-state hot loop.
+    fn clone_from(&mut self, source: &Self) {
+        self.queue.clone_from(&source.queue);
+        self.frontier = source.frontier;
+        self.next_commit = source.next_commit;
+        self.arrived.clone_from(&source.arrived);
+        self.admitted.clone_from(&source.admitted);
+    }
 }
 
 impl ProtocolState {
@@ -195,7 +217,10 @@ impl ProtocolState {
         else {
             // The frontier guarantees arrival; a missing record would be a
             // retirement bug.
-            debug_assert!(false, "store (iter {iter}, seq {seq}) vanished before commit");
+            debug_assert!(
+                false,
+                "store (iter {iter}, seq {seq}) vanished before commit"
+            );
             return CommitStep::Blocked;
         };
         if rec.fake {
@@ -275,7 +300,14 @@ impl ProtocolState {
             .iter()
             .map(|r| {
                 (
-                    r.port, r.iter, r.seq, r.kind, r.fake, r.addr, r.value, r.committed,
+                    r.port,
+                    r.iter,
+                    r.seq,
+                    r.kind,
+                    r.fake,
+                    r.addr,
+                    r.value,
+                    r.committed,
                 )
             })
             .collect();

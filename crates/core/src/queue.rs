@@ -25,7 +25,7 @@ pub enum QueueState {
 }
 
 /// The premature queue.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PrematureQueue {
     slots: VecDeque<PrematureRecord>,
     depth: usize,
@@ -33,6 +33,27 @@ pub struct PrematureQueue {
     /// pointer positions of the circular implementation.
     pushes: u64,
     high_water: usize,
+}
+
+impl Clone for PrematureQueue {
+    fn clone(&self) -> Self {
+        PrematureQueue {
+            slots: self.slots.clone(),
+            depth: self.depth,
+            pushes: self.pushes,
+            high_water: self.high_water,
+        }
+    }
+
+    /// Reuses the existing slot storage: the model checker assigns states
+    /// into a scratch buffer millions of times, and the derived fallback
+    /// (`*self = source.clone()`) would reallocate the ring on every one.
+    fn clone_from(&mut self, source: &Self) {
+        self.slots.clone_from(&source.slots);
+        self.depth = source.depth;
+        self.pushes = source.pushes;
+        self.high_water = source.high_water;
+    }
 }
 
 impl PrematureQueue {

@@ -188,8 +188,16 @@ mod tests {
             vec![LoopLevel::upto(4), LoopLevel::upto(4)],
             vec![ArrayDecl::zeroed("a", 8), ArrayDecl::zeroed("b", 8)],
             vec![
-                Stmt::store(a, Expr::var(0), Expr::load(a, Expr::var(0)).add(Expr::lit(1))),
-                Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(1))),
+                Stmt::store(
+                    a,
+                    Expr::var(0),
+                    Expr::load(a, Expr::var(0)).add(Expr::lit(1)),
+                ),
+                Stmt::store(
+                    b,
+                    Expr::var(0),
+                    Expr::load(b, Expr::var(0)).add(Expr::lit(1)),
+                ),
             ],
         )
         .expect("valid");

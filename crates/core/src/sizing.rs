@@ -144,7 +144,11 @@ mod tests {
     fn recurrence_bound_basics() {
         assert_eq!(recurrence_ii(8.0, 2), 4.0);
         assert_eq!(recurrence_ii(8.0, 16), 1.0, "long distances do not bind");
-        assert_eq!(recurrence_ii(8.0, 0), 1.0, "same-iteration chains do not bind II");
+        assert_eq!(
+            recurrence_ii(8.0, 0),
+            1.0,
+            "same-iteration chains do not bind II"
+        );
     }
 
     #[test]

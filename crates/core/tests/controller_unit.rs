@@ -321,7 +321,10 @@ fn predictor_hold_is_address_qualified() {
     // Offer iteration 1's store addr+data and iteration 2's load together.
     b.cycle(
         Some(Token::tagged(3, Tag::with_epoch(2, 1))),
-        Some((Token::tagged(7, Tag::with_epoch(1, 1)), Token::tagged(9, Tag::with_epoch(1, 1)))),
+        Some((
+            Token::tagged(7, Tag::with_epoch(1, 1)),
+            Token::tagged(9, Tag::with_epoch(1, 1)),
+        )),
     );
     b.idle_cycles(8);
     // The iteration-2 load must complete (deliver a result) without a new

@@ -7,8 +7,7 @@ use prevv_core::{PrevvConfig, PrevvMemory, PrevvStats};
 use prevv_dataflow::components::{BinOp, LoopLevel};
 use prevv_dataflow::{SimConfig, SimError, SimReport, Simulator};
 use prevv_ir::{
-    golden, synthesize_with, ArrayDecl, ArrayId, Expr, KernelSpec, OpaqueFn, Stmt,
-    SynthOptions,
+    golden, synthesize_with, ArrayDecl, ArrayId, Expr, KernelSpec, OpaqueFn, Stmt, SynthOptions,
 };
 
 #[derive(Debug)]
@@ -28,8 +27,8 @@ fn run_prevv_with(
     opts: &SynthOptions,
 ) -> Result<RunOutcome, SimError> {
     let mut s = synthesize_with(spec, opts).expect("synthesizes");
-    let (ctrl, ram, stats) = PrevvMemory::new(s.interface.clone(), config, s.bus.clone())
-        .expect("queue deep enough");
+    let (ctrl, ram, stats) =
+        PrevvMemory::new(s.interface.clone(), config, s.bus.clone()).expect("queue deep enough");
     s.netlist.add("prevv", ctrl);
     let mut sim = Simulator::new(s.netlist, s.bus)?.with_config(SimConfig {
         max_cycles: 2_000_000,
@@ -55,11 +54,9 @@ fn assert_matches_golden(spec: &KernelSpec, out: &RunOutcome) {
     let gold = golden::execute(spec);
     for (i, decl) in spec.arrays.iter().enumerate() {
         assert_eq!(
-            out.arrays[i],
-            gold.arrays[i],
+            out.arrays[i], gold.arrays[i],
             "array `{}` of kernel `{}` diverged from golden",
-            decl.name,
-            spec.name
+            decl.name, spec.name
         );
     }
 }
@@ -83,7 +80,11 @@ fn fig2a(n: i64) -> KernelSpec {
                 Expr::load(a, Expr::load(b, Expr::var(0))).add(Expr::lit(7)),
             ),
             // b[i] += 3
-            Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(3))),
+            Stmt::store(
+                b,
+                Expr::var(0),
+                Expr::load(b, Expr::var(0)).add(Expr::lit(3)),
+            ),
         ],
     )
     .expect("valid kernel")
@@ -314,7 +315,10 @@ fn pure_squash_mode_stays_correct_on_the_reduction() {
     cfg.forwarding = false;
     let out = run_prevv(&spec, cfg);
     assert_matches_golden(&spec, &out);
-    assert!(out.stats.squashes > 0, "without bypass every reuse squashes");
+    assert!(
+        out.stats.squashes > 0,
+        "without bypass every reuse squashes"
+    );
 }
 
 #[test]

@@ -10,7 +10,13 @@ use prevv_ir::MemOpKind;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Push { iter: u64, seq: u32, store: bool, addr: usize, value: i64 },
+    Push {
+        iter: u64,
+        seq: u32,
+        store: bool,
+        addr: usize,
+        value: i64,
+    },
     PopHead,
     RetireBelow(u64),
     Flush(u64),

@@ -81,6 +81,19 @@ pub trait Component {
     fn capacity(&self) -> usize {
         0
     }
+
+    /// Cycles between a token entering and leaving this component when
+    /// nothing downstream stalls — its pipeline latency. Purely
+    /// combinational elements forward within the cycle and report 0.
+    ///
+    /// Together with [`capacity`](Component::capacity) this describes the
+    /// component as a stage of a timed marked graph: `capacity` tokens of
+    /// elastic storage traversed in `latency` cycles. The PV4xx static
+    /// throughput analysis derives its initiation-interval bounds from
+    /// exactly these two numbers.
+    fn latency(&self) -> u32 {
+        0
+    }
 }
 
 #[cfg(test)]

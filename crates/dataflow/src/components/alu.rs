@@ -328,6 +328,10 @@ impl Component for BinaryAlu {
     fn capacity(&self) -> usize {
         self.pipe.depth()
     }
+
+    fn latency(&self) -> u32 {
+        self.pipe.depth() as u32
+    }
 }
 
 /// A pipelined one-operand functional unit.
@@ -402,6 +406,10 @@ impl Component for UnaryAlu {
     fn capacity(&self) -> usize {
         self.pipe.depth()
     }
+
+    fn latency(&self) -> u32 {
+        self.pipe.depth() as u32
+    }
 }
 
 #[cfg(test)]
@@ -459,7 +467,12 @@ mod tests {
     #[test]
     fn single_cycle_alu_produces_next_cycle() {
         let mut alu = BinaryAlu::with_latency(BinOp::Add, 1, ch(0), ch(1), ch(2));
-        let (acc, out) = run_cycle(&mut alu, Some(Token::new(2, 0)), Some(Token::new(3, 0)), true);
+        let (acc, out) = run_cycle(
+            &mut alu,
+            Some(Token::new(2, 0)),
+            Some(Token::new(3, 0)),
+            true,
+        );
         assert!(acc);
         assert_eq!(out, None);
         let (_, out) = run_cycle(&mut alu, None, None, true);
@@ -470,7 +483,12 @@ mod tests {
     #[test]
     fn multi_cycle_latency_is_respected() {
         let mut alu = BinaryAlu::with_latency(BinOp::Mul, 3, ch(0), ch(1), ch(2));
-        let (acc, _) = run_cycle(&mut alu, Some(Token::new(2, 0)), Some(Token::new(3, 0)), true);
+        let (acc, _) = run_cycle(
+            &mut alu,
+            Some(Token::new(2, 0)),
+            Some(Token::new(3, 0)),
+            true,
+        );
         assert!(acc);
         let (_, o1) = run_cycle(&mut alu, None, None, true);
         let (_, o2) = run_cycle(&mut alu, None, None, true);
@@ -505,10 +523,19 @@ mod tests {
     #[test]
     fn backpressure_stalls_pipeline() {
         let mut alu = BinaryAlu::with_latency(BinOp::Add, 1, ch(0), ch(1), ch(2));
-        run_cycle(&mut alu, Some(Token::new(1, 0)), Some(Token::new(1, 0)), false);
+        run_cycle(
+            &mut alu,
+            Some(Token::new(1, 0)),
+            Some(Token::new(1, 0)),
+            false,
+        );
         // Head is full and output is not ready: the unit must refuse input.
-        let (acc, out) =
-            run_cycle(&mut alu, Some(Token::new(2, 1)), Some(Token::new(2, 1)), false);
+        let (acc, out) = run_cycle(
+            &mut alu,
+            Some(Token::new(2, 1)),
+            Some(Token::new(2, 1)),
+            false,
+        );
         assert!(!acc);
         assert_eq!(out, None);
         assert_eq!(alu.occupancy(), 1);
@@ -517,8 +544,18 @@ mod tests {
     #[test]
     fn flush_clears_squashed_iterations() {
         let mut alu = BinaryAlu::with_latency(BinOp::Add, 3, ch(0), ch(1), ch(2));
-        run_cycle(&mut alu, Some(Token::new(1, 3)), Some(Token::new(1, 3)), false);
-        run_cycle(&mut alu, Some(Token::new(1, 7)), Some(Token::new(1, 7)), false);
+        run_cycle(
+            &mut alu,
+            Some(Token::new(1, 3)),
+            Some(Token::new(1, 3)),
+            false,
+        );
+        run_cycle(
+            &mut alu,
+            Some(Token::new(1, 7)),
+            Some(Token::new(1, 7)),
+            false,
+        );
         assert_eq!(alu.occupancy(), 2);
         alu.flush(5);
         assert_eq!(alu.occupancy(), 1, "iteration 7 flushed, 3 kept");

@@ -423,7 +423,10 @@ mod tests {
         s.drive(ChannelId(0), Token::tagged(0, Tag::with_epoch(3, 1)));
         s.accept(ChannelId(1));
         settle(&c, &mut s);
-        assert_eq!(s.taken(ChannelId(1)), Some(Token::tagged(42, Tag::with_epoch(3, 1))));
+        assert_eq!(
+            s.taken(ChannelId(1)),
+            Some(Token::tagged(42, Tag::with_epoch(3, 1)))
+        );
         assert!(s.fired(ChannelId(0)));
     }
 

@@ -93,6 +93,13 @@ impl Component for Buffer {
     fn capacity(&self) -> usize {
         self.capacity
     }
+
+    fn latency(&self) -> u32 {
+        // The FIFO is opaque: a token entering this cycle is visible at the
+        // head no earlier than the next (see
+        // `buffer_introduces_one_cycle_latency`).
+        1
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +111,11 @@ mod tests {
         ChannelId(i)
     }
 
-    fn one_cycle(b: &mut Buffer, drive_in: Option<Token>, out_ready: bool) -> (bool, Option<Token>) {
+    fn one_cycle(
+        b: &mut Buffer,
+        drive_in: Option<Token>,
+        out_ready: bool,
+    ) -> (bool, Option<Token>) {
         let mut s = Signals::new(2);
         if let Some(t) = drive_in {
             s.drive(ch(0), t);

@@ -282,9 +282,7 @@ mod tests {
             }
         }
         src.eval(&mut s);
-        let outs = (0..ready.len())
-            .map(|i| s.taken(ch(i as u32)))
-            .collect();
+        let outs = (0..ready.len()).map(|i| s.taken(ch(i as u32))).collect();
         src.commit(&s);
         outs
     }
@@ -292,11 +290,7 @@ mod tests {
     #[test]
     fn emits_rows_in_order() {
         let bus = SquashBus::new();
-        let mut src = IterSource::new(
-            vec![vec![10], vec![20], vec![30]],
-            vec![ch(0)],
-            bus,
-        );
+        let mut src = IterSource::new(vec![vec![10], vec![20], vec![30]], vec![ch(0)], bus);
         assert_eq!(src.iteration_count(), 3);
         let a = one_cycle(&mut src, &[true]);
         let b = one_cycle(&mut src, &[true]);
@@ -325,11 +319,7 @@ mod tests {
     #[test]
     fn rewind_replays_with_new_epoch() {
         let bus = SquashBus::new();
-        let mut src = IterSource::new(
-            (0..5).map(|i| vec![i]).collect(),
-            vec![ch(0)],
-            bus.clone(),
-        );
+        let mut src = IterSource::new((0..5).map(|i| vec![i]).collect(), vec![ch(0)], bus.clone());
         for _ in 0..4 {
             one_cycle(&mut src, &[true]);
         }
@@ -369,11 +359,7 @@ mod tests {
 
     #[test]
     fn rectangular_three_level_space() {
-        let space = iteration_space(&[
-            LoopLevel::upto(2),
-            LoopLevel::upto(3),
-            LoopLevel::upto(2),
-        ]);
+        let space = iteration_space(&[LoopLevel::upto(2), LoopLevel::upto(3), LoopLevel::upto(2)]);
         assert_eq!(space.len(), 12);
         assert_eq!(space[0], vec![0, 0, 0]);
         assert_eq!(space[11], vec![1, 2, 1]);
@@ -397,7 +383,11 @@ mod tests {
 
     #[test]
     fn count_handles_huge_rectangular_spaces() {
-        let nest = [LoopLevel::upto(1_000), LoopLevel::upto(1_000), LoopLevel::upto(1_000)];
+        let nest = [
+            LoopLevel::upto(1_000),
+            LoopLevel::upto(1_000),
+            LoopLevel::upto(1_000),
+        ];
         assert_eq!(count_iterations(&nest), 1_000_000_000);
     }
 

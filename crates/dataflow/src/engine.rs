@@ -215,6 +215,7 @@ impl Simulator {
             stall_cycles: self.stall_cycles,
             squashes: self.bus.squash_count(),
             replayed_iters: self.bus.replayed_iters(),
+            stalled_channels: self.stall_ranking(self.channel_stalls.len()),
         }
     }
 
@@ -252,12 +253,16 @@ impl std::fmt::Debug for Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::components::{
-        BinOp, BinaryAlu, Buffer, Constant, Fork, IterSource, Sink,
-    };
+    use crate::components::{BinOp, BinaryAlu, Buffer, Constant, Fork, IterSource, Sink};
 
     /// Builds `out = (i + 1) * i` for i in 0..n and collects the results.
-    fn arithmetic_circuit(n: i64) -> (Netlist, SquashBus, std::rc::Rc<std::cell::RefCell<Vec<crate::Token>>>) {
+    fn arithmetic_circuit(
+        n: i64,
+    ) -> (
+        Netlist,
+        SquashBus,
+        std::rc::Rc<std::cell::RefCell<Vec<crate::Token>>>,
+    ) {
         let mut net = Netlist::new();
         let bus = SquashBus::new();
         let src_out = net.channel();
@@ -282,7 +287,10 @@ mod tests {
         let sum_f2 = net.channel();
         net.add("fork2", Fork::new(sum, vec![sum_f1, sum_f2]));
         net.add("two", Constant::new(2, sum_f2, two));
-        net.add("mul", BinaryAlu::with_latency(BinOp::Mul, 3, sum_f1, two, prod));
+        net.add(
+            "mul",
+            BinaryAlu::with_latency(BinOp::Mul, 3, sum_f1, two, prod),
+        );
         let (sink, store) = Sink::collecting(vec![prod]);
         net.add("sink", sink);
         (net, bus, store)
@@ -337,16 +345,10 @@ mod tests {
         let b = net.channel();
         let b_buf = net.channel();
         let out = net.channel();
-        net.add(
-            "src",
-            IterSource::new(vec![vec![1]], vec![a], bus.clone()),
-        );
+        net.add("src", IterSource::new(vec![vec![1]], vec![a], bus.clone()));
         net.add("buf_a", Buffer::new(1, a, a_buf));
         // Source for b emits zero iterations: join starves.
-        net.add(
-            "src_b",
-            IterSource::new(vec![], vec![b], bus.clone()),
-        );
+        net.add("src_b", IterSource::new(vec![], vec![b], bus.clone()));
         net.add("buf_b", Buffer::new(1, b, b_buf));
         net.add("join", Join::new(vec![a_buf, b_buf], out));
         net.add("sink", Sink::new(vec![out]));
@@ -359,7 +361,10 @@ mod tests {
         let err = sim.run().expect_err("must deadlock");
         match err {
             SimError::Deadlock { detail, .. } => {
-                assert!(detail.contains("buf_a"), "diagnostic names the stuck buffer: {detail}");
+                assert!(
+                    detail.contains("buf_a"),
+                    "diagnostic names the stuck buffer: {detail}"
+                );
             }
             other => panic!("expected deadlock, got {other}"),
         }
@@ -395,7 +400,10 @@ mod tests {
         let mut sim = Simulator::new(net, bus).expect("valid");
         sim.run().expect("completes");
         let ranking = sim.stall_ranking(3);
-        assert!(!ranking.is_empty(), "a 4-cycle unit at II 1 must stall something");
+        assert!(
+            !ranking.is_empty(),
+            "a 4-cycle unit at II 1 must stall something"
+        );
         // Stall counts are sorted descending.
         for w in ranking.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -411,6 +419,9 @@ mod tests {
                 max_cycles: 3,
                 watchdog: 1000,
             });
-        assert!(matches!(sim.run(), Err(SimError::Timeout { max_cycles: 3 })));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::Timeout { max_cycles: 3 })
+        ));
     }
 }

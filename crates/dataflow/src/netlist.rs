@@ -238,10 +238,7 @@ mod tests {
     fn validate_catches_dangling_channels() {
         let mut net = Netlist::new();
         let orphan = net.channel();
-        assert_eq!(
-            net.validate(),
-            Err(NetlistError::MissingProducer(orphan))
-        );
+        assert_eq!(net.validate(), Err(NetlistError::MissingProducer(orphan)));
     }
 
     #[test]

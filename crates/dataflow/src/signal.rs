@@ -148,11 +148,7 @@ impl Signals {
     /// `max_sweeps` iterations — a public fixpoint helper for test benches
     /// that drive components without the full engine. Returns `true` if the
     /// state converged.
-    pub fn settle_with(
-        &mut self,
-        max_sweeps: usize,
-        mut eval: impl FnMut(&mut Signals),
-    ) -> bool {
+    pub fn settle_with(&mut self, max_sweeps: usize, mut eval: impl FnMut(&mut Signals)) -> bool {
         for _ in 0..max_sweeps {
             eval(self);
             if !self.take_changed() {

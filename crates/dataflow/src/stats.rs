@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::signal::ChannelId;
+
 /// Summary of a completed simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimReport {
@@ -15,6 +17,11 @@ pub struct SimReport {
     pub squashes: u64,
     /// Total iterations that were replayed due to squashes.
     pub replayed_iters: u64,
+    /// Per-channel stall attribution: every channel that spent at least one
+    /// cycle stalled (valid but not ready), sorted by stall count
+    /// descending. The measured counterpart of the PV400 critical cycle —
+    /// where backpressure actually bit, channel by channel.
+    pub stalled_channels: Vec<(ChannelId, u64)>,
 }
 
 impl SimReport {
@@ -25,6 +32,11 @@ impl SimReport {
         } else {
             self.transfers as f64 / self.cycles as f64
         }
+    }
+
+    /// The `n` most-stalled channels.
+    pub fn top_stalled(&self, n: usize) -> &[(ChannelId, u64)] {
+        &self.stalled_channels[..n.min(self.stalled_channels.len())]
     }
 }
 
@@ -61,6 +73,7 @@ mod tests {
             stall_cycles: 3,
             squashes: 2,
             replayed_iters: 5,
+            stalled_channels: vec![(ChannelId(1), 3)],
         };
         let s = r.to_string();
         assert!(s.contains("10 cycles"));

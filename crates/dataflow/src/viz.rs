@@ -34,7 +34,9 @@ pub fn to_dot(net: &Netlist) -> String {
         }
     }
 
-    let mut out = String::from("digraph netlist {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph netlist {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for (node, label, c) in net.iter() {
         let shape = match c.type_name() {
             "iter_source" => ", shape=invhouse",
@@ -90,10 +92,7 @@ mod tests {
         let bus = SquashBus::new();
         let trig = net.channel();
         let out = net.channel();
-        net.add(
-            "src",
-            IterSource::new(vec![vec![0]], vec![trig], bus),
-        );
+        net.add("src", IterSource::new(vec![vec![0]], vec![trig], bus));
         net.add("one", Constant::new(1, trig, out));
         net.add("sink", Sink::new(vec![out]));
         let dot = to_dot(&net);

@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use prevv_dataflow::components::{Buffer, IterSource, Sink};
 use prevv_dataflow::{
-    ChannelId, Component, Netlist, Ports, SimConfig, Signals, Simulator, SquashBus, Token,
+    ChannelId, Component, Netlist, Ports, Signals, SimConfig, Simulator, SquashBus, Token,
 };
 
 /// Consumes tokens; each time it sees iteration `trigger_at` it posts a
@@ -173,7 +173,11 @@ fn flush_purges_buffered_tokens_of_squashed_iterations() {
     let deep = net.channel();
     net.add(
         "src",
-        IterSource::new((0..12).map(|i| vec![i]).collect(), vec![src_out], bus.clone()),
+        IterSource::new(
+            (0..12).map(|i| vec![i]).collect(),
+            vec![src_out],
+            bus.clone(),
+        ),
     );
     net.add("deep", Buffer::new(8, src_out, deep));
     let seen = Rc::new(RefCell::new(Vec::new()));

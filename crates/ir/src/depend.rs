@@ -68,10 +68,7 @@ impl Dependences {
     /// Ids of ops participating in at least one ambiguous pair — the ops
     /// that must be routed through a disambiguation controller.
     pub fn ambiguous_ops(&self) -> HashSet<usize> {
-        self.pairs
-            .iter()
-            .flat_map(|p| [p.load, p.store])
-            .collect()
+        self.pairs.iter().flat_map(|p| [p.load, p.store]).collect()
     }
 
     /// True if the kernel needs any disambiguation at all.
@@ -143,7 +140,11 @@ pub fn enumerate_ops(spec: &KernelSpec) -> Vec<StaticMemOp> {
 pub fn analyze(spec: &KernelSpec) -> Dependences {
     let ops = enumerate_ops(spec);
     let small = spec.iteration_count() <= ENUM_LIMIT;
-    let space = if small { spec.iteration_space() } else { Vec::new() };
+    let space = if small {
+        spec.iteration_space()
+    } else {
+        Vec::new()
+    };
     // Precompute each op's address set (None = runtime-dependent or the
     // space is too large to enumerate).
     let addr_sets: Vec<Option<HashSet<usize>>> = ops
@@ -256,7 +257,11 @@ fn enumerated_min_distance(
 /// covers the rest up to [`ENUM_LIMIT`] iterations.
 pub fn pair_distances(spec: &KernelSpec, deps: &Dependences) -> Vec<PairDistance> {
     let small = spec.iteration_count() <= ENUM_LIMIT;
-    let space = if small { spec.iteration_space() } else { Vec::new() };
+    let space = if small {
+        spec.iteration_space()
+    } else {
+        Vec::new()
+    };
     deps.pairs
         .iter()
         .map(|&pair| {
@@ -328,14 +333,17 @@ pub struct Refinement {
 /// compared against *all* resident queue records.
 pub fn refine_pairs(spec: &KernelSpec, deps: &Dependences) -> Refinement {
     let small = spec.iteration_count() <= ENUM_LIMIT;
-    let space = if small { spec.iteration_space() } else { Vec::new() };
+    let space = if small {
+        spec.iteration_space()
+    } else {
+        Vec::new()
+    };
     let mut pairs = Vec::new();
     let mut bypassed = Vec::new();
     for &pair in &deps.pairs {
         let load = &deps.ops[pair.load];
         let store = &deps.ops[pair.store];
-        let affine =
-            !load.index.is_runtime_dependent() && !store.index.is_runtime_dependent();
+        let affine = !load.index.is_runtime_dependent() && !store.index.is_runtime_dependent();
         let safe = affine
             && match symdep::classify_accesses(spec, &load.index, &store.index, load.array) {
                 PairClass::Disjoint => true,

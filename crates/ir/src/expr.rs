@@ -47,7 +47,9 @@ impl OpaqueFn {
 
     /// Evaluates the function.
     pub fn apply(&self, x: Value) -> Value {
-        let mut z = (x as u64).wrapping_add(self.seed).wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = (x as u64)
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9e3779b97f4a7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
         z ^= z >> 31;

@@ -185,8 +185,8 @@ fn eval_pure(e: &Expr, row: &[Value]) -> Value {
 mod tests {
     use super::*;
     use crate::kernel::ArrayDecl;
-    use prevv_dataflow::components::LoopLevel;
     use prevv_dataflow::components::BinOp;
+    use prevv_dataflow::components::LoopLevel;
 
     /// for i in 0..4 { a[b[i]] += 1; b[i] += 2 } — paper Fig. 2(a).
     fn fig2a() -> KernelSpec {
@@ -205,7 +205,11 @@ mod tests {
                     Expr::load(b, Expr::var(0)),
                     Expr::load(a, Expr::load(b, Expr::var(0))).add(Expr::lit(1)),
                 ),
-                Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(2))),
+                Stmt::store(
+                    b,
+                    Expr::var(0),
+                    Expr::load(b, Expr::var(0)).add(Expr::lit(2)),
+                ),
             ],
         )
         .expect("valid")

@@ -102,10 +102,7 @@ impl MemoryInterface {
 
     /// Ids (into [`Self::ports`]) of ops in at least one ambiguous pair.
     pub fn ambiguous_ops(&self) -> HashSet<usize> {
-        self.pairs
-            .iter()
-            .flat_map(|p| [p.load, p.store])
-            .collect()
+        self.pairs.iter().flat_map(|p| [p.load, p.store]).collect()
     }
 
     /// Number of load ports.

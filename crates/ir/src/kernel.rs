@@ -334,9 +334,7 @@ impl KernelSpec {
         self.body
             .iter()
             .map(|s| {
-                s.index.op_count()
-                    + s.value.op_count()
-                    + s.guard.as_ref().map_or(0, Expr::op_count)
+                s.index.op_count() + s.value.op_count() + s.guard.as_ref().map_or(0, Expr::op_count)
             })
             .sum()
     }
@@ -376,7 +374,11 @@ mod tests {
                     Expr::load(b, Expr::var(0)),
                     Expr::load(a, Expr::load(b, Expr::var(0))).add(Expr::lit(1)),
                 ),
-                Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(2))),
+                Stmt::store(
+                    b,
+                    Expr::var(0),
+                    Expr::load(b, Expr::var(0)).add(Expr::lit(2)),
+                ),
             ],
         )
         .expect("valid kernel")

@@ -464,7 +464,11 @@ impl<'a> Parser<'a> {
         Ok(Expr::bin(op, lhs, rhs))
     }
 
-    fn parse_additive(&mut self, arrays: &Arrays, loop_vars: &[String]) -> Result<Expr, ParseError> {
+    fn parse_additive(
+        &mut self,
+        arrays: &Arrays,
+        loop_vars: &[String],
+    ) -> Result<Expr, ParseError> {
         let mut e = self.parse_multiplicative(arrays, loop_vars)?;
         loop {
             if self.eat("+") {

@@ -17,7 +17,10 @@ pub struct Span {
 impl Span {
     /// Creates a span; `end` is clamped to be at least `start`.
     pub fn new(start: usize, end: usize) -> Self {
-        Span { start, end: end.max(start) }
+        Span {
+            start,
+            end: end.max(start),
+        }
     }
 
     /// A zero-width span at one offset.

@@ -463,10 +463,7 @@ mod tests {
         // inner iterations — the engine must not claim independence.
         let a = form(vec![1, 0], 0);
         let b = form(vec![1, 0], 0);
-        assert_eq!(
-            classify_pair(&a, &b, &[(0, 1), (0, 2)]),
-            PairClass::Unknown
-        );
+        assert_eq!(classify_pair(&a, &b, &[(0, 1), (0, 2)]), PairClass::Unknown);
     }
 
     #[test]
@@ -545,10 +542,7 @@ mod tests {
             "tri",
             vec![
                 prevv_dataflow::components::LoopLevel::upto(4),
-                prevv_dataflow::components::LoopLevel::new(
-                    Bound::OuterPlus(0, 0),
-                    Bound::Const(4),
-                ),
+                prevv_dataflow::components::LoopLevel::new(Bound::OuterPlus(0, 0), Bound::Const(4)),
             ],
             vec![ArrayDecl::zeroed("a", 16)],
             vec![Stmt::store(a, Expr::var(1), Expr::lit(1))],
@@ -588,10 +582,7 @@ mod tests {
             "tri",
             vec![
                 prevv_dataflow::components::LoopLevel::upto(4),
-                prevv_dataflow::components::LoopLevel::new(
-                    Bound::OuterPlus(0, 0),
-                    Bound::Const(4),
-                ),
+                prevv_dataflow::components::LoopLevel::new(Bound::OuterPlus(0, 0), Bound::Const(4)),
             ],
             vec![ArrayDecl::zeroed("a", 8)],
             vec![Stmt::store(

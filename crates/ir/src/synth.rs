@@ -472,11 +472,7 @@ mod tests {
             "two_arrays",
             vec![LoopLevel::upto(2)],
             vec![ArrayDecl::zeroed("a", 8), ArrayDecl::zeroed("b", 4)],
-            vec![Stmt::store(
-                b,
-                Expr::var(0),
-                Expr::load(a, Expr::var(0)),
-            )],
+            vec![Stmt::store(b, Expr::var(0), Expr::load(a, Expr::var(0)))],
         )
         .expect("valid");
         let s = synthesize(&k).expect("synthesizes");

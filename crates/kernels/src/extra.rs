@@ -25,7 +25,11 @@ pub fn fig2a(n: i64, b_init: Vec<Value>) -> KernelSpec {
                 Expr::load(b, Expr::var(0)),
                 Expr::load(a, Expr::load(b, Expr::var(0))).add(Expr::lit(5)),
             ),
-            Stmt::store(b, Expr::var(0), Expr::load(b, Expr::var(0)).add(Expr::lit(3))),
+            Stmt::store(
+                b,
+                Expr::var(0),
+                Expr::load(b, Expr::var(0)).add(Expr::lit(3)),
+            ),
         ],
     )
     .expect("fig2a is well-formed")

@@ -31,11 +31,7 @@ pub fn mm2(n: i64) -> KernelSpec {
     let cells = (n * n) as usize;
     KernelSpec::new(
         "2mm",
-        vec![
-            LoopLevel::upto(n),
-            LoopLevel::upto(n),
-            LoopLevel::upto(n),
-        ],
+        vec![LoopLevel::upto(n), LoopLevel::upto(n), LoopLevel::upto(n)],
         vec![
             ArrayDecl::with_values("A", workload::dense_matrix(n, 7)),
             ArrayDecl::with_values("B", workload::dense_matrix(n, 11)),
@@ -57,8 +53,7 @@ pub fn mm2(n: i64) -> KernelSpec {
             Stmt::store(
                 d,
                 flat(i.clone(), j.clone(), n),
-                Expr::load(d, flat(i.clone(), j.clone(), n))
-                    .add(Expr::load(tmp, flat(i, j, n))),
+                Expr::load(d, flat(i.clone(), j.clone(), n)).add(Expr::load(tmp, flat(i, j, n))),
             ),
         ],
     )
@@ -77,11 +72,7 @@ pub fn mm3(n: i64) -> KernelSpec {
     let cells = (n * n) as usize;
     KernelSpec::new(
         "3mm",
-        vec![
-            LoopLevel::upto(n),
-            LoopLevel::upto(n),
-            LoopLevel::upto(n),
-        ],
+        vec![LoopLevel::upto(n), LoopLevel::upto(n), LoopLevel::upto(n)],
         vec![
             ArrayDecl::with_values("A", workload::dense_matrix(n, 13)),
             ArrayDecl::with_values("B", workload::dense_matrix(n, 17)),
@@ -107,8 +98,7 @@ pub fn mm3(n: i64) -> KernelSpec {
             Stmt::store(
                 g,
                 flat(i.clone(), j.clone(), n),
-                Expr::load(g, flat(i.clone(), j.clone(), n))
-                    .add(Expr::load(f, flat(i, j, n))),
+                Expr::load(g, flat(i.clone(), j.clone(), n)).add(Expr::load(f, flat(i, j, n))),
             ),
         ],
     )
@@ -135,8 +125,7 @@ pub fn polyn_mult(n: i64) -> KernelSpec {
         vec![Stmt::store(
             c,
             cidx.clone(),
-            Expr::load(c, cidx)
-                .add(Expr::load(a, i).mul(Expr::load(b, j))),
+            Expr::load(c, cidx).add(Expr::load(a, i).mul(Expr::load(b, j))),
         )],
     )
     .expect("polyn_mult is well-formed")
@@ -162,9 +151,8 @@ pub fn gaussian(n: i64) -> KernelSpec {
         vec![Stmt::store(
             a,
             flat(j.clone(), k.clone(), n),
-            Expr::load(a, flat(j.clone(), k.clone(), n)).sub(
-                Expr::load(a, flat(j, i.clone(), n)).mul(Expr::load(a, flat(i, k, n))),
-            ),
+            Expr::load(a, flat(j.clone(), k.clone(), n))
+                .sub(Expr::load(a, flat(j, i.clone(), n)).mul(Expr::load(a, flat(i, k, n)))),
         )],
     )
     .expect("gaussian is well-formed")
@@ -191,9 +179,8 @@ pub fn triangular(n: i64) -> KernelSpec {
         vec![Stmt::store(
             b,
             flat(i.clone(), j.clone(), n),
-            Expr::load(b, flat(i.clone(), j.clone(), n)).add(
-                Expr::load(l, flat(i, k.clone(), n)).mul(Expr::load(b, flat(k, j, n))),
-            ),
+            Expr::load(b, flat(i.clone(), j.clone(), n))
+                .add(Expr::load(l, flat(i, k.clone(), n)).mul(Expr::load(b, flat(k, j, n)))),
         )],
     )
     .expect("triangular is well-formed")

@@ -35,9 +35,8 @@ pub fn spmv(rows: i64, width: i64, seed: u64) -> KernelSpec {
         vec![Stmt::store(
             y,
             r.clone(),
-            Expr::load(y, r).add(
-                Expr::load(val, slot.clone()).mul(Expr::load(x, Expr::load(col, slot))),
-            ),
+            Expr::load(y, r)
+                .add(Expr::load(val, slot.clone()).mul(Expr::load(x, Expr::load(col, slot)))),
         )],
     )
     .expect("spmv is well-formed")
@@ -84,11 +83,8 @@ pub fn knapsack(items: i64, capacity: i64, seed: u64) -> KernelSpec {
     let (i, w) = (Expr::var(0), Expr::var(1));
     // Descending weight index: idx = capacity - 1 - w.
     let idx = Expr::lit(capacity - 1).sub(w);
-    let take = Expr::load(
-        dp,
-        idx.clone().sub(Expr::load(weight, i.clone())),
-    )
-    .add(Expr::load(value, i.clone()));
+    let take = Expr::load(dp, idx.clone().sub(Expr::load(weight, i.clone())))
+        .add(Expr::load(value, i.clone()));
     let keep = Expr::load(dp, idx.clone());
     KernelSpec::new(
         "knapsack",
@@ -124,10 +120,7 @@ mod tests {
         let d = depend::analyze(&spec);
         assert!(d.needs_disambiguation());
         // The gather through `col` is runtime-dependent.
-        assert!(d
-            .ops
-            .iter()
-            .any(|o| o.index.is_runtime_dependent()));
+        assert!(d.ops.iter().any(|o| o.index.is_runtime_dependent()));
         let g = golden::execute(&spec);
         assert_eq!(g.arrays[3].len(), 6);
     }

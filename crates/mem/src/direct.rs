@@ -88,8 +88,7 @@ impl Component for DirectMemory {
                 }
             } else {
                 while write_budget > 0 {
-                    let (Some(a), Some(_)) = (self.io.peek_addr(p), self.io.peek_data(p))
-                    else {
+                    let (Some(a), Some(_)) = (self.io.peek_addr(p), self.io.peek_data(p)) else {
                         break;
                     };
                     debug_assert_eq!(
@@ -125,8 +124,8 @@ impl Component for DirectMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prevv_dataflow::{SimConfig, Simulator};
     use prevv_dataflow::components::LoopLevel;
+    use prevv_dataflow::{SimConfig, Simulator};
     use prevv_ir::{golden, synthesize, ArrayDecl, ArrayId, Expr, KernelSpec, Stmt};
 
     /// Hazard-free kernel: b[i] = a[i] * 3.
@@ -207,7 +206,8 @@ mod tests {
         let gold = golden::execute(&spec);
         let (arrays, _) = run(&spec);
         assert_ne!(
-            arrays[0], gold.array(ArrayId(0)),
+            arrays[0],
+            gold.array(ArrayId(0)),
             "direct memory must mis-execute the loop-carried reduction \
              (this failing would mean the pipeline never overlapped)"
         );

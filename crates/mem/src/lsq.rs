@@ -625,7 +625,13 @@ mod tests {
             ..LsqConfig::dynamatic(2)
         };
         let err = Lsq::new(s.interface, cfg).expect_err("must reject");
-        assert!(matches!(err, LsqError::LoadQueueTooShallow { needed: 3, depth: 2 }));
+        assert!(matches!(
+            err,
+            LsqError::LoadQueueTooShallow {
+                needed: 3,
+                depth: 2
+            }
+        ));
     }
 
     #[test]

@@ -18,8 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("kernel source:\n{}", prevv::ir::pretty::render(&spec));
 
     let mut synth = prevv::ir::synthesize(&spec)?;
-    let (ctrl, ram, stats) =
-        PrevvMemory::new(synth.interface.clone(), PrevvConfig::prevv16(), synth.bus.clone())?;
+    let (ctrl, ram, stats) = PrevvMemory::new(
+        synth.interface.clone(),
+        PrevvConfig::prevv16(),
+        synth.bus.clone(),
+    )?;
 
     // Watch the first load port's address and result channels plus the
     // first store port's address channel.

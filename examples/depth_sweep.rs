@@ -15,7 +15,8 @@ fn main() -> Result<(), prevv::RunError> {
     let iters = spec.iteration_count() as f64;
     println!(
         "kernel: {} ({} iterations) — LUTs vs cycles across depth_q\n",
-        spec.name, spec.iteration_count()
+        spec.name,
+        spec.iteration_count()
     );
     println!(
         "{:>8} {:>9} {:>9} {:>9} {:>11} {:>11}",

@@ -13,7 +13,11 @@ fn main() -> Result<(), prevv::RunError> {
     // The paper's Fig. 2(b): indices depend on opaque runtime functions, so
     // no compiler can prove independence — classic dynamic-HLS territory.
     let spec = extra::fig2b(48, 8);
-    println!("kernel: {} ({} iterations)\n", spec.name, spec.iteration_count());
+    println!(
+        "kernel: {} ({} iterations)\n",
+        spec.name,
+        spec.iteration_count()
+    );
 
     // 1. No disambiguation: the circuit pipelines aggressively and reads
     //    stale data.

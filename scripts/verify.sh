@@ -11,6 +11,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -83,28 +86,83 @@ lint_must_fail --protocol --no-forwarding kernels/bad/replay_livelock.pvk
 lint_must_fail --protocol --depth 2 kernels/bad/queue_too_small_mc.pvk
 lint_must_fail --protocol --no-forwarding kernels/bad/deep_wedge.pvk
 
-echo "==> checker throughput -> BENCH_modelcheck.json"
+echo "==> PV4xx static throughput (stock kernels predicted within 10% of simulation)"
+cargo test -q --release --test perf_soundness \
+    stock_kernel_predictions_land_within_ten_percent >/dev/null
+echo "    5 kernels: predicted cycles within 10% of the cycle-accurate simulator"
 out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
-    --protocol --mc-depth 6 --format json kernels/fig2a.pvk)
+    --perf --format json kernels/*.pvk)
 echo "$out" | python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
+if doc["summary"]["errors"]:
+    json.dump(doc, sys.stderr, indent=2)
+    sys.exit("\nperf pass reported errors on stock kernels")
+perf = doc["summary"]["perf"]
+bound, pred, res = perf["ii_bound"], perf["predicted_ii"], perf["binding_resource"]
+if not (bound >= 1.0 and pred >= bound):
+    sys.exit(f"implausible perf summary: {perf}")
+print(f"    worst kernel: II bound {bound:.2f}, predicted II {pred:.2f} ({res})")
+'
+
+echo "==> PV4xx static throughput (undersized queue must be refused)"
+lint_must_fail --circuit --perf --deny-warnings --depth 4 \
+    kernels/bad/throughput_cliff.pvk
+
+echo "==> checker throughput -> BENCH_modelcheck.json"
+# Best-of-N over the unreduced fig2a space (the largest reachable space a
+# stock kernel offers); best-of suppresses scheduler noise on a shared box.
+# The previous run's figure (if any) is read first so the JSON records the
+# states/sec delta across the change under test.
+prev_sps=$(python3 -c '
+import json
+try:
+    doc = json.load(open("BENCH_modelcheck.json"))
+    if doc["workload"] == "fig2a --mc-no-por --mc-depth 8, best of 5":
+        print(doc["states_per_sec"])
+    else:
+        print("")
+except Exception:
+    print("")
+' 2>/dev/null || true)
+best=""
+for _ in 1 2 3 4 5; do
+  out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+      --protocol --mc-no-por --mc-depth 8 --format json kernels/fig2a.pvk)
+  best=$(PREV_BEST="$best" python3 -c '
+import json, os, sys
+doc = json.load(sys.stdin)
+sps = doc["summary"]["protocol"]["states_per_sec"]
+prev = os.environ.get("PREV_BEST") or "0"
+print(max(sps, float(prev)))
+' <<<"$out")
+done
+echo "$out" | PREV_SPS="$prev_sps" BEST_SPS="$best" python3 -c '
+import json, os, sys
+doc = json.load(sys.stdin)
 proto = doc["summary"]["protocol"]
+best = float(os.environ["BEST_SPS"])
+prev = os.environ.get("PREV_SPS") or ""
 bench = {
     "bench": "modelcheck",
-    "workload": "fig2a --mc-depth 6",
+    "workload": "fig2a --mc-no-por --mc-depth 8, best of 5",
     "states": proto["states"],
     "transitions": proto["transitions"],
     "enabled": proto["enabled"],
     "reduction_ratio": proto["reduction_ratio"],
-    "states_per_sec": proto["states_per_sec"],
+    "states_per_sec": best,
+    "states_per_sec_prev": float(prev) if prev else None,
+    "states_per_sec_delta_pct": round((best / float(prev) - 1.0) * 100, 1)
+    if prev else None,
     "threads": proto["threads"],
 }
 with open("BENCH_modelcheck.json", "w") as f:
     json.dump(bench, f, indent=2)
     f.write("\n")
-states, sps, ratio = proto["states"], proto["states_per_sec"], proto["reduction_ratio"]
-print(f"    {states} states at {sps:.0f} states/s (ratio {ratio})")
+states = proto["states"]
+delta = bench["states_per_sec_delta_pct"]
+tail = f" ({delta:+.1f}% vs previous run)" if prev else " (no previous run to compare)"
+print(f"    {states} states at {best:.0f} states/s" + tail)
 '
 
 echo "verify: OK"

@@ -45,20 +45,20 @@ pub use prevv_dataflow::{SimConfig, SimError, SimReport, Simulator, Value};
 pub use prevv_ir::{KernelError, KernelSpec, SynthOptions};
 pub use prevv_mem::{Lsq, LsqConfig, LsqError, LsqStats, MemTiming};
 
+/// Static analysis (lints) over kernels.
+pub use prevv_analyze as analyze;
+/// Resource and timing models.
+pub use prevv_area as area;
+/// The PreVV architecture.
+pub use prevv_core as prevv_core_crate;
 /// The dataflow-circuit substrate.
 pub use prevv_dataflow as dataflow;
 /// Kernel IR, dependence analysis, synthesis.
 pub use prevv_ir as ir;
-/// Memory subsystem and LSQ baselines.
-pub use prevv_mem as mem;
-/// The PreVV architecture.
-pub use prevv_core as prevv_core_crate;
-/// Resource and timing models.
-pub use prevv_area as area;
 /// Benchmark kernels.
 pub use prevv_kernels as kernels;
-/// Static analysis (lints) over kernels.
-pub use prevv_analyze as analyze;
+/// Memory subsystem and LSQ baselines.
+pub use prevv_mem as mem;
 
 /// Which disambiguation controller to attach to a synthesized kernel.
 #[derive(Debug, Clone)]

@@ -111,7 +111,10 @@ fn all_stock_kernels_lint_clean_of_errors() {
         );
         checked += 1;
     }
-    assert!(checked >= 5, "expected the five stock kernels, saw {checked}");
+    assert!(
+        checked >= 5,
+        "expected the five stock kernels, saw {checked}"
+    );
 }
 
 #[test]
@@ -261,7 +264,10 @@ fn all_stock_kernels_are_circuit_clean() {
         );
         checked += 1;
     }
-    assert!(checked >= 5, "expected the five stock kernels, saw {checked}");
+    assert!(
+        checked >= 5,
+        "expected the five stock kernels, saw {checked}"
+    );
 }
 
 /// Acceptance: fig2a's three affine `b` pairs are provably disjoint, the
@@ -505,4 +511,77 @@ fn fig2a_affine_pairs_are_proven_by_the_symbolic_engine_alone() {
     }
     assert_eq!(affine, 3, "fig2a has three affine b-pairs");
     assert_eq!(runtime, 1, "and one runtime-dependent a-pair");
+}
+
+/// The `kernels/bad/throughput_cliff.pvk` fixture: a perfectly parallel
+/// stream kernel (three loads + one store per iteration, no hazards) whose
+/// premature queue becomes the binding resource once undersized. At
+/// `--depth 4` PV402 fires naming the queue with the §V-A matched-sizing
+/// recommendation; at the default depth the PV4xx pass is clean. The cliff
+/// is real: simulating at depth 4 costs over 1.5× the depth-16 cycles
+/// while staying deadlock- and squash-free, so nothing but the queue's
+/// serialization explains the loss.
+#[test]
+fn throughput_cliff_fixture_is_pv402_with_a_real_cliff() {
+    let (name, source) = read_fixture("kernels/bad/throughput_cliff.pvk");
+
+    let shallow_perf = analyze::PerfOptions {
+        config: PrevvConfig::with_depth(4),
+    };
+    let (report, summary) = analyze::lint_source_with_perf(
+        &name,
+        &source,
+        &AnalyzeOptions::default(),
+        None,
+        &shallow_perf,
+    );
+    let summary = summary.expect("perf pass produces a summary");
+    let d = report.with_code(Code::QueueBound);
+    assert_eq!(d.len(), 1, "exactly one PV402: {:?}", report.diagnostics);
+    assert_eq!(d[0].severity, Severity::Warning);
+    assert!(
+        d[0].message.contains("premature-queue") && d[0].message.contains("depth 4"),
+        "PV402 names the premature queue and its depth: {}",
+        d[0].message
+    );
+    let help = d[0].help.as_deref().expect("PV402 carries sizing help");
+    assert!(
+        help.contains("depth_q") && help.contains('8'),
+        "help recommends the §V-A matched depth: {help}"
+    );
+    assert_eq!(summary.recommended_depth, Some(8));
+    assert!(
+        summary.predicted_ii >= 2.0 * summary.ii_bound - 1e-9,
+        "queue serialization ({:.2}) dominates the datapath bound ({:.2})",
+        summary.predicted_ii,
+        summary.ii_bound
+    );
+
+    // The default depth absorbs the stream: no PV402, no recommendation.
+    let (clean_report, clean_summary) = analyze::lint_source_with_perf(
+        &name,
+        &source,
+        &AnalyzeOptions::default(),
+        None,
+        &analyze::PerfOptions::default(),
+    );
+    assert!(clean_report.with_code(Code::QueueBound).is_empty());
+    assert_eq!(clean_summary.expect("summary").recommended_depth, None);
+
+    // The predicted cliff exists in simulation, without deadlocking.
+    let spec = parse_kernel(&name, &source).expect("parses");
+    let shallow = run_kernel(&spec, Controller::Prevv(PrevvConfig::with_depth(4)))
+        .expect("depth 4 throttles but never deadlocks");
+    let deep = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv16())).expect("runs");
+    assert!(shallow.matches_golden && deep.matches_golden);
+    assert!(
+        shallow.squash_log.is_empty() && deep.squash_log.is_empty(),
+        "the slowdown is pure queue serialization, not replay"
+    );
+    assert!(
+        shallow.report.cycles as f64 > 1.5 * deep.report.cycles as f64,
+        "undersizing the queue must cost >1.5x the cycles ({} vs {})",
+        shallow.report.cycles,
+        deep.report.cycles
+    );
 }

@@ -78,7 +78,11 @@ fn prevv_beats_fast_lsq_on_resources_for_every_paper_kernel() {
 
 #[test]
 fn deeper_premature_queue_never_hurts_cycles_on_paper_kernels() {
-    for spec in [paper::polyn_mult(10), paper::gaussian(6), paper::triangular(6)] {
+    for spec in [
+        paper::polyn_mult(10),
+        paper::gaussian(6),
+        paper::triangular(6),
+    ] {
         let p16 = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv16())).expect("runs");
         let p64 = run_kernel(&spec, Controller::Prevv(PrevvConfig::prevv64())).expect("runs");
         assert!(

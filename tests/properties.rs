@@ -33,7 +33,11 @@ fn value_expr(target: ArrayId, index: Expr) -> impl Strategy<Value = Expr> {
         Just(Expr::load(target, index.clone()).add(Expr::var(0))),
         Just(Expr::load(target, index.clone()).add(Expr::lit(1))),
         Just(Expr::var(0).mul(Expr::lit(3))),
-        Just(Expr::load(target, index).mul(Expr::lit(2)).add(Expr::lit(1))),
+        Just(
+            Expr::load(target, index)
+                .mul(Expr::lit(2))
+                .add(Expr::lit(1))
+        ),
     ]
 }
 
