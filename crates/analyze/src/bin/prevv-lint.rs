@@ -6,7 +6,7 @@
 //!            [--controller none|direct|prevv] [--protocol]
 //!            [--mc-depth N] [--mc-states N[k|m]] [--mc-threads N]
 //!            [--mc-audit] [--mc-no-por] [--no-forwarding] [--perf]
-//!            [--deny-warnings] <file.pvk>...
+//!            [--fix] [--deny-warnings] <file.pvk>...
 //! prevv-lint --explain PVxxx
 //! ```
 //!
@@ -54,6 +54,13 @@
 //! under `--perf`) carries the worst (highest-`ii_bound`) throughput
 //! verdict across the checked files.
 //!
+//! `--fix` applies every machine-applicable suggestion in the report
+//! (PV402 / PV503 `depth_q` resizes, PV501 dead-statement removal, ...)
+//! to the file in place. Overlapping suggestions are applied outermost-
+//! last-first; the patched source must re-parse and re-lint clean of every
+//! code whose fix was applied, or the file is left untouched and the run
+//! exits with status 2.
+//!
 //! `--explain PVxxx` prints the documentation, severity, and a minimal
 //! triggering example for any diagnostic code and exits (status 2 for an
 //! unknown code).
@@ -63,9 +70,9 @@
 //! `--deny-warnings`, any warning.
 
 use prevv_analyze::{
-    check_protocol, diag::Code, diag::Diagnostic, explain_code, lint_source,
-    lint_source_with_circuit, lint_source_with_perf, AnalyzeOptions, CheckStats, CircuitOptions,
-    ControllerModel, PerfOptions, PerfSummary, ProtocolOptions, Severity,
+    check_protocol, diag::Code, diag::Diagnostic, diag::Report, diag::Suggestion, explain_code,
+    lint_source, lint_source_with_circuit, lint_source_with_perf, AnalyzeOptions, CheckStats,
+    CircuitOptions, ControllerModel, PerfOptions, PerfSummary, ProtocolOptions, Severity,
 };
 use prevv_core::PrevvConfig;
 
@@ -81,6 +88,7 @@ struct Args {
     circuit: Option<CircuitOptions>,
     protocol: Option<ProtocolOptions>,
     perf: Option<PerfOptions>,
+    fix: bool,
     deny_warnings: bool,
 }
 
@@ -89,7 +97,7 @@ fn usage() -> ! {
         "usage: prevv-lint [--format text|json] [--depth N] [--no-fake-tokens] \
          [--no-pair-reduction] [--circuit] [--controller none|direct|prevv] \
          [--protocol] [--mc-depth N] [--mc-states N[k|m]] [--mc-threads N] \
-         [--mc-audit] [--mc-no-por] [--no-forwarding] [--perf] \
+         [--mc-audit] [--mc-no-por] [--no-forwarding] [--perf] [--fix] \
          [--deny-warnings] <file.pvk>...\n       prevv-lint --explain PVxxx"
     );
     std::process::exit(2);
@@ -109,7 +117,7 @@ fn run_explain(code: Option<String>) -> ! {
             std::process::exit(0);
         }
         None => {
-            eprintln!("unknown diagnostic code `{code}` (known: PV000..PV006, PV101..PV105, PV200..PV204, PV300..PV302, PV400..PV403)");
+            eprintln!("unknown diagnostic code `{code}` (known: PV000..PV006, PV101..PV105, PV200..PV204, PV300..PV302, PV400..PV403, PV500..PV503)");
             std::process::exit(2);
         }
     }
@@ -141,6 +149,7 @@ fn parse_args() -> Args {
     let mut mc_por = true;
     let mut forwarding = true;
     let mut want_perf = false;
+    let mut fix = false;
     let mut deny_warnings = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -203,6 +212,7 @@ fn parse_args() -> Args {
             }
             "--no-forwarding" => forwarding = false,
             "--perf" => want_perf = true,
+            "--fix" => fix = true,
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => files.push(f.to_string()),
@@ -249,8 +259,81 @@ fn parse_args() -> Args {
         circuit,
         protocol,
         perf,
+        fix,
         deny_warnings,
     }
+}
+
+/// Runs the parse/kernel/circuit/perf passes (everything except the model
+/// checker, whose diagnostics never carry fixes) over one source text.
+fn lint_once(name: &str, source: &str, args: &Args) -> (Report, Option<PerfSummary>) {
+    match (&args.perf, &args.circuit) {
+        (Some(perf), circuit) => {
+            lint_source_with_perf(name, source, &args.opts, circuit.as_ref(), perf)
+        }
+        (None, Some(circuit)) => (
+            lint_source_with_circuit(name, source, &args.opts, circuit),
+            None,
+        ),
+        (None, None) => (lint_source(name, source, &args.opts), None),
+    }
+}
+
+/// Applies machine-applicable suggestions to `source`, last span first so
+/// earlier offsets stay valid; overlapping or out-of-range spans are
+/// skipped. Returns the patched text and how many fixes were applied.
+fn apply_suggestions(source: &str, report: &Report) -> (String, Vec<Code>) {
+    let mut suggs: Vec<(&Suggestion, Code)> = report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.suggestion.as_ref().map(|s| (s, d.code)))
+        .collect();
+    suggs.sort_by_key(|s| std::cmp::Reverse((s.0.span.start, s.0.span.end)));
+    let mut out = source.to_string();
+    let mut applied = Vec::new();
+    let mut frontier = out.len();
+    for (s, code) in suggs {
+        if s.span.end > frontier || s.span.start > s.span.end {
+            continue;
+        }
+        out.replace_range(s.span.start..s.span.end, &s.replacement);
+        frontier = s.span.start;
+        applied.push(code);
+    }
+    (out, applied)
+}
+
+/// `--fix` for one file: patch, verify (re-parse + re-lint clean of every
+/// applied code), and write back. Returns false when verification fails
+/// (the file is left untouched).
+fn fix_file(path: &str, name: &str, source: &str, report: &Report, args: &Args) -> bool {
+    let (fixed, applied) = apply_suggestions(source, report);
+    if applied.is_empty() {
+        return true;
+    }
+    let (recheck, _) = lint_once(name, &fixed, args);
+    let stale: Vec<&Code> = applied
+        .iter()
+        .filter(|c| recheck.diagnostics.iter().any(|d| d.code == **c))
+        .collect();
+    let parses = !recheck.diagnostics.iter().any(|d| d.code == Code::Parse);
+    if !parses || !stale.is_empty() {
+        eprintln!(
+            "{path}: not fixed — patched source {}",
+            if parses {
+                format!("still reports {stale:?}")
+            } else {
+                "no longer parses".to_string()
+            }
+        );
+        return false;
+    }
+    if let Err(e) = std::fs::write(path, &fixed) {
+        eprintln!("cannot write {path}: {e}");
+        return false;
+    }
+    println!("{path}: applied {} fix(es)", applied.len());
+    true
 }
 
 /// Aggregated model-checker statistics over every checked file, for the
@@ -328,6 +411,7 @@ fn main() {
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
     let mut json_files = Vec::new();
+    let mut fix_failures = 0usize;
     let mut protocol_summary: Option<ProtocolSummary> = None;
     let mut perf_summary: Option<PerfSummary> = None;
     for path in &args.files {
@@ -342,24 +426,19 @@ fn main() {
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("kernel");
-        let mut report = match (&args.perf, &args.circuit) {
-            (Some(perf), circuit) => {
-                let (report, summary) =
-                    lint_source_with_perf(name, &source, &args.opts, circuit.as_ref(), perf);
-                // summary.perf keeps the worst verdict across the run.
-                if let Some(s) = summary {
-                    let worse = perf_summary
-                        .as_ref()
-                        .is_none_or(|prev| s.ii_bound > prev.ii_bound);
-                    if worse {
-                        perf_summary = Some(s);
-                    }
-                }
-                report
+        let (mut report, summary) = lint_once(name, &source, &args);
+        // summary.perf keeps the worst verdict across the run.
+        if let Some(s) = summary {
+            let worse = perf_summary
+                .as_ref()
+                .is_none_or(|prev| s.ii_bound > prev.ii_bound);
+            if worse {
+                perf_summary = Some(s);
             }
-            (None, Some(circuit)) => lint_source_with_circuit(name, &source, &args.opts, circuit),
-            (None, None) => lint_source(name, &source, &args.opts),
-        };
+        }
+        if args.fix && !fix_file(path, name, &source, &report, &args) {
+            fix_failures += 1;
+        }
         if let Some(protocol) = &args.protocol {
             // The protocol pass needs a parsed kernel; a PV000 in the base
             // report means there is nothing to check. `check_protocol` is
@@ -410,6 +489,9 @@ fn main() {
             "{{\"files\":[{}],\"summary\":{{\"errors\":{total_errors},\"warnings\":{total_warnings}{protocol}{perf}}}}}",
             json_files.join(",")
         );
+    }
+    if fix_failures > 0 {
+        std::process::exit(2);
     }
     if total_errors > 0 || (args.deny_warnings && total_warnings > 0) {
         std::process::exit(1);

@@ -81,6 +81,21 @@ pub enum Code {
     /// `PV403` — the measured initiation interval diverged from the static
     /// prediction beyond tolerance (model self-check).
     ModelDivergence,
+    /// `PV500` — the abstract interpreter proves an access out of bounds:
+    /// its guard-refined value range (including indirect indices bounded
+    /// through array initializers) escapes the array on a feasible
+    /// iteration.
+    RangeOutOfBounds,
+    /// `PV501` — a guard predicate is infeasible over the whole iteration
+    /// space: the statement is dead and can be removed.
+    InfeasibleGuard,
+    /// `PV502` — an ambiguous pair is discharged by value-range/congruence
+    /// invariants that GCD/Banerjee cannot derive; the arbiter never needs
+    /// to validate it.
+    InvariantDischarge,
+    /// `PV503` — the static premature-queue occupancy bound differs from
+    /// the configured `depth_q` (the queue can never fill past the bound).
+    OccupancyBound,
 }
 
 impl Code {
@@ -111,6 +126,10 @@ impl Code {
             Code::SlacklessCycle => "PV401",
             Code::QueueBound => "PV402",
             Code::ModelDivergence => "PV403",
+            Code::RangeOutOfBounds => "PV500",
+            Code::InfeasibleGuard => "PV501",
+            Code::InvariantDischarge => "PV502",
+            Code::OccupancyBound => "PV503",
         }
     }
 }
@@ -149,6 +168,32 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A machine-applicable source edit attached to a diagnostic: replace the
+/// bytes of `span` with `replacement`. Suggestions are only attached when
+/// the fix is semantics-preserving (or is exactly what the diagnostic asks
+/// for), so `prevv-lint --fix` may apply them without review; the fixed
+/// source must re-parse and re-lint clean of the originating code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// Byte range of the original source to replace.
+    pub span: Span,
+    /// Replacement text (may be empty: a deletion).
+    pub replacement: String,
+    /// One-line description of what applying the edit does.
+    pub label: String,
+}
+
+impl Suggestion {
+    /// A new suggestion replacing `span` with `replacement`.
+    pub fn new(span: Span, replacement: impl Into<String>, label: impl Into<String>) -> Self {
+        Suggestion {
+            span,
+            replacement: replacement.into(),
+            label: label.into(),
+        }
+    }
+}
+
 /// One finding of the analyzer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -162,6 +207,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Optional remediation hint.
     pub help: Option<String>,
+    /// Optional machine-applicable fix (see [`Suggestion`]).
+    pub suggestion: Option<Suggestion>,
 }
 
 impl Diagnostic {
@@ -173,6 +220,7 @@ impl Diagnostic {
             span: None,
             message: message.into(),
             help: None,
+            suggestion: None,
         }
     }
 
@@ -204,6 +252,12 @@ impl Diagnostic {
         self
     }
 
+    /// Attaches a machine-applicable fix (builder style).
+    pub fn with_suggestion(mut self, suggestion: Suggestion) -> Self {
+        self.suggestion = Some(suggestion);
+        self
+    }
+
     /// Renders this diagnostic rustc-style against the original source.
     /// Without a span (or without source text) only the header is produced.
     pub fn render(&self, origin: &str, source: Option<&str>) -> String {
@@ -218,6 +272,12 @@ impl Diagnostic {
         if let Some(h) = &self.help {
             out.push_str(&format!(" help: {h}\n"));
         }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!(
+                " fix: {} (machine-applicable: `prevv-lint --fix`)\n",
+                s.label
+            ));
+        }
         out
     }
 
@@ -231,6 +291,15 @@ impl Diagnostic {
         ];
         if let Some(h) = &self.help {
             fields.push(format!("\"help\":{}", json_string(h)));
+        }
+        if let Some(s) = &self.suggestion {
+            fields.push(format!(
+                "\"suggestion\":{{\"start\":{},\"end\":{},\"replacement\":{},\"label\":{}}}",
+                s.span.start,
+                s.span.end,
+                json_string(&s.replacement),
+                json_string(&s.label)
+            ));
         }
         if let Some(span) = self.span {
             let mut s = format!("\"start\":{},\"end\":{}", span.start, span.end);
@@ -282,6 +351,28 @@ impl Report {
     /// Appends a diagnostic.
     pub fn push(&mut self, d: Diagnostic) {
         self.diagnostics.push(d);
+    }
+
+    /// Canonicalizes the report for rendering: diagnostics are sorted by
+    /// (span, code) — spanless file-level findings last — and exact
+    /// duplicates (same code, span, severity, and message) emitted by
+    /// overlapping passes collapse to one. The sort is stable, so
+    /// equally-placed findings keep their emission order, and every lint
+    /// entry point calls this before returning — text and JSON output are
+    /// deterministic regardless of pass scheduling.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.span.map_or(usize::MAX, |s| s.start),
+                    d.span.map_or(usize::MAX, |s| s.end),
+                    d.code.as_str(),
+                )
+            };
+            key(a).cmp(&key(b)).then_with(|| a.message.cmp(&b.message))
+        });
+        self.diagnostics
+            .dedup_by(|a, b| a.code == b.code && a.span == b.span && a.message == b.message);
     }
 
     /// Renders every diagnostic rustc-style, followed by a one-line tally.
@@ -361,6 +452,52 @@ mod tests {
         assert_eq!(Code::SlacklessCycle.as_str(), "PV401");
         assert_eq!(Code::QueueBound.as_str(), "PV402");
         assert_eq!(Code::ModelDivergence.as_str(), "PV403");
+        assert_eq!(Code::RangeOutOfBounds.as_str(), "PV500");
+        assert_eq!(Code::InfeasibleGuard.as_str(), "PV501");
+        assert_eq!(Code::InvariantDischarge.as_str(), "PV502");
+        assert_eq!(Code::OccupancyBound.as_str(), "PV503");
+    }
+
+    #[test]
+    fn normalize_sorts_by_span_and_dedupes_exact_duplicates() {
+        let mut r = Report::default();
+        r.push(Diagnostic::note(Code::ProtocolBound, "horizon"));
+        r.push(Diagnostic::warning(Code::DeadStore, "dead").with_span(Some(Span::new(40, 44))));
+        r.push(Diagnostic::error(Code::OutOfBounds, "oob").with_span(Some(Span::new(10, 14))));
+        // The same finding from an overlapping pass: collapses.
+        r.push(Diagnostic::error(Code::OutOfBounds, "oob").with_span(Some(Span::new(10, 14))));
+        // Same code and span, different message: both survive.
+        r.push(Diagnostic::warning(Code::ProtocolBound, "budget hit").with_span(None));
+        r.normalize();
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, ["PV001", "PV005", "PV200", "PV200"]);
+        assert_eq!(
+            r.with_code(Code::OutOfBounds).len(),
+            1,
+            "duplicate collapsed"
+        );
+        assert_eq!(r.with_code(Code::ProtocolBound).len(), 2);
+    }
+
+    #[test]
+    fn suggestion_renders_and_serializes() {
+        let src = "int a[4];\nfor (int i = 0; i < 4; ++i) {\n  if (i > 9) a[0] += 1;\n}\n";
+        let at = src.find("if").expect("present");
+        let end = src.find("1;").expect("present") + 2;
+        let d = Diagnostic::warning(Code::InfeasibleGuard, "guard is never true")
+            .with_span(Some(Span::new(at, end)))
+            .with_suggestion(Suggestion::new(
+                Span::new(at, end),
+                "",
+                "remove the dead statement",
+            ));
+        let text = d.render("t.pvk", Some(src));
+        assert!(text.contains("warning[PV501]"));
+        assert!(text.contains("fix: remove the dead statement"));
+        let j = d.to_json(Some(src));
+        assert!(j.contains("\"suggestion\":{\"start\":"));
+        assert!(j.contains("\"replacement\":\"\""));
+        assert!(j.contains("\"label\":\"remove the dead statement\""));
     }
 
     #[test]

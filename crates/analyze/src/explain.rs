@@ -344,6 +344,67 @@ pub const ALL: &[Explanation] = &[
         example: "(runtime: `runkernel kernels/fig2a.pvk --stats` prints \
                   predicted vs measured II and raises PV403 on divergence)",
     },
+    Explanation {
+        code: Code::RangeOutOfBounds,
+        title: "value-range analysis proves an index out of bounds",
+        severity: "error; warning for opaque-index wraparound",
+        doc: "The abstract interpreter (interval \u{d7} congruence \u{d7} \
+              guard domains) proves an index expression reaches a value \
+              outside the declared array bounds — including cases the \
+              affine PV001 check cannot see: indirect indices like \
+              `a[b[i]]` bounded through a store-free `b`'s initializer \
+              data, and guarded statements in iteration spaces too large \
+              to enumerate. Runtime-dependent indices demote to a warning \
+              because the hardware wraps them modulo the array length by \
+              design; the wrap still silently aliases another element.",
+        example: "int b[4] = { 1, 9, 2, 3 };\nint a[8];\nfor (int i = 0; \
+                  i < 4; ++i) { a[b[i]] = i; }",
+    },
+    Explanation {
+        code: Code::InfeasibleGuard,
+        title: "guard is provably false on every iteration",
+        severity: "warning",
+        doc: "The abstract interpreter proves a statement's guard evaluates \
+              to zero on every iteration of the (possibly refined) loop \
+              nest — for example `i % 2 == 3`. The statement is dead code, \
+              but unlike an unguarded dead store it still injects fake \
+              tokens into the premature queue every iteration, burning \
+              queue slots and arbiter bandwidth for work that provably \
+              never happens. The suggested fix removes the statement.",
+        example: "int a[8];\nfor (int i = 0; i < 8; ++i) { if (i % 2 == 3) \
+                  a[i] = 1;\n  a[i] = a[i] + 1; }",
+    },
+    Explanation {
+        code: Code::InvariantDischarge,
+        title: "invariant-backed pair discharge",
+        severity: "note",
+        doc: "Inferred value invariants (intervals, strides, guard \
+              predicates) prove an ambiguous load/store pair disjoint where \
+              the affine GCD/Banerjee tests cannot — e.g. a store guarded \
+              to even iterations against a load guarded to odd ones, or a \
+              triangular pair separated within the model checker's horizon \
+              box. The pair leaves the arbiter's validated set (full-space \
+              proofs) or the model checker's state space (horizon-bounded \
+              proofs), shrinking both.",
+        example: "int a[8];\nint s[8];\nfor (int i = 0; i < 8; ++i) { if \
+                  (i % 2 == 0) a[i] = i;\n  if (i % 2 == 1) s[i] = a[i]; }",
+    },
+    Explanation {
+        code: Code::OccupancyBound,
+        title: "static occupancy bound below configured depth_q",
+        severity: "note",
+        doc: "The abstract interpreter bounds the premature queue's peak \
+              occupancy: at most (memory ops per iteration \u{d7} total \
+              iterations) entries can ever be live, counting fake tokens, \
+              which occupy slots like real ones. When that bound is below \
+              the configured `depth_q`, the extra slots are provably dead \
+              area; the note names the bound and suggests the next \
+              power-of-two depth that covers it. A `depth_q = N;` source \
+              directive makes the suggestion machine-applicable via \
+              `prevv-lint --fix`.",
+        example: "int a[4];\nfor (int i = 0; i < 4; ++i) { a[i] = i; }\n\n\
+                  flags: --depth 16   (bound 4 < depth 16)",
+    },
 ];
 
 /// Looks up one code by its `PVxxx` string (case-insensitive).
@@ -385,10 +446,14 @@ mod tests {
                 | Code::ThroughputBound
                 | Code::SlacklessCycle
                 | Code::QueueBound
-                | Code::ModelDivergence => {}
+                | Code::ModelDivergence
+                | Code::RangeOutOfBounds
+                | Code::InfeasibleGuard
+                | Code::InvariantDischarge
+                | Code::OccupancyBound => {}
             }
         }
-        assert_eq!(ALL.len(), 24, "one entry per Code variant");
+        assert_eq!(ALL.len(), 28, "one entry per Code variant");
         // No duplicates, sorted by code string.
         let strs: Vec<_> = ALL.iter().map(|e| e.code.as_str()).collect();
         let mut sorted = strs.clone();

@@ -31,6 +31,10 @@
 //! | PV401 | warning  | perf: zero-slack backpressure cycle; buffer insertion suggested |
 //! | PV402 | warning  | perf: premature-queue/arbiter serialization binds throughput |
 //! | PV403 | warning  | perf: measured II diverged from the static prediction |
+//! | PV500 | error/warn | value-range analysis proves an index out of bounds (warning for opaque wraparound) |
+//! | PV501 | warning  | guard is provably false on every iteration — dead statement |
+//! | PV502 | note     | invariant-backed pair discharge beyond GCD/Banerjee |
+//! | PV503 | note     | static occupancy bound below the configured `depth_q` |
 //!
 //! The `PV0xx` lints run on the kernel; the `PV1xx` lints ([`circuit`])
 //! run on the synthesized netlist via the channel-graph introspection API
@@ -45,9 +49,13 @@
 //! the arbiter or the model checker; the `PV4xx` lints ([`perf`]) model
 //! the synthesized netlist as a timed marked graph and bound its
 //! steady-state initiation interval (maximum cycle ratio plus the
-//! controller's port/validation/retire budgets). [`explain`] documents
-//! every code with a minimal triggering example (`prevv-lint --explain
-//! PVxxx`).
+//! controller's port/validation/retire budgets); the `PV5xx` lints
+//! ([`absint`]) run a fixpoint abstract interpreter (interval ×
+//! congruence × guard domains) over the loop nest, proving value-range
+//! facts the affine engines cannot — and some of its diagnostics carry
+//! machine-applicable suggestions that `prevv-lint --fix` applies.
+//! [`explain`] documents every code with a minimal triggering example
+//! (`prevv-lint --explain PVxxx`).
 //!
 //! [`synthesize`] is the checked front door: it runs the analyzer and
 //! refuses kernels with any error-severity finding, attaching the report.
@@ -75,6 +83,7 @@ use prevv_core::PrevvConfig;
 use prevv_ir::depend;
 use prevv_ir::{KernelError, KernelSpec, SynthOptions, SynthesizedKernel};
 
+pub mod absint;
 pub mod circuit;
 pub mod diag;
 pub mod explain;
@@ -84,8 +93,9 @@ pub mod perf;
 pub mod seplog;
 pub mod symdep;
 
+pub use absint::{analyze_kernel as infer_invariants, occupancy_bound, DischargeReason};
 pub use circuit::{lint_circuit, lint_netlist, CircuitOptions, ControllerModel};
-pub use diag::{Code, Diagnostic, Report, Severity};
+pub use diag::{Code, Diagnostic, Report, Severity, Suggestion};
 pub use explain::{explain as explain_code, Explanation};
 pub use modelcheck::{
     check as check_protocol, replay as replay_counterexample, CheckResult, CheckStats,
@@ -146,10 +156,19 @@ impl AnalyzeOptions {
     }
 }
 
-/// Runs every lint over a validated kernel and returns the findings,
-/// ordered by code (all PV001 findings, then PV002, …).
+/// Runs every lint over a validated kernel and returns the findings in
+/// deterministic order: by source span, then code ([`Report::normalize`]).
+///
+/// A `depth_q = N;` directive in the kernel source overrides
+/// [`AnalyzeOptions::depth`] for every depth-sensitive lint — the file
+/// records the configuration it was authored for.
 pub fn analyze(spec: &KernelSpec, opts: &AnalyzeOptions) -> Report {
     let deps = depend::analyze(spec);
+    let mut effective = opts.clone();
+    if let Some((depth, _)) = spec.depth_hint() {
+        effective.depth = depth;
+    }
+    let opts = &effective;
     let mut report = Report::default();
     lints::check_bounds(spec, &deps, &mut report);
     lints::check_deadlock(spec, &deps, opts, &mut report);
@@ -158,6 +177,9 @@ pub fn analyze(spec: &KernelSpec, opts: &AnalyzeOptions) -> Report {
     lints::check_dead_stores(spec, &deps, &mut report);
     lints::check_pair_reduction(spec, &deps, opts, &mut report);
     seplog::check_separation(spec, &deps, &mut report);
+    absint::check_values(spec, &deps, &mut report);
+    absint::check_occupancy(spec, opts.depth, &mut report);
+    report.normalize();
     report
 }
 
@@ -176,6 +198,19 @@ pub fn lint_source(name: &str, source: &str, opts: &AnalyzeOptions) -> Report {
             r
         }
     }
+}
+
+/// Applies a kernel's `depth_q = N;` directive to the circuit pass: a
+/// queue-modeled controller takes the in-source capacity, mirroring the
+/// override [`analyze`] performs for the kernel-level lints.
+fn circuit_for(spec: &prevv_ir::KernelSpec, circuit: &CircuitOptions) -> CircuitOptions {
+    let mut eff = circuit.clone();
+    if let (Some((depth, _)), ControllerModel::Queue { capacity }) =
+        (spec.depth_hint(), &mut eff.controller)
+    {
+        *capacity = depth;
+    }
+    eff
 }
 
 /// Lints kernel source text including the PV1xx circuit lints: parses the
@@ -200,8 +235,9 @@ pub fn lint_source_with_circuit(
             if let Ok(synth) = prevv_ir::synthesize_with(&spec, &synth_opts) {
                 report
                     .diagnostics
-                    .extend(lint_circuit(&synth, circuit).diagnostics);
+                    .extend(lint_circuit(&synth, &circuit_for(&spec, circuit)).diagnostics);
             }
+            report.normalize();
             report
         }
         Err(e) => {
@@ -219,7 +255,9 @@ pub fn lint_source_with_circuit(
 /// when `circuit` is set, the PV1xx circuit lints): parses, runs
 /// [`analyze`], synthesizes unchecked, and appends the perf findings.
 /// Returns the report together with the [`PerfSummary`] when synthesis
-/// succeeded. This is what `prevv-lint --perf` runs per file.
+/// succeeded. A `depth_q = N;` directive overrides the configured queue
+/// depth here too, so `--fix`'s directive rewrite converges under the
+/// same CLI flags. This is what `prevv-lint --perf` runs per file.
 pub fn lint_source_with_perf(
     name: &str,
     source: &str,
@@ -234,15 +272,20 @@ pub fn lint_source_with_perf(
                 fake_tokens: opts.fake_tokens,
                 ..SynthOptions::default()
             };
+            let mut perf_eff = perf_opts.clone();
+            if let Some((depth, _)) = spec.depth_hint() {
+                perf_eff.config.depth = depth;
+            }
             let mut summary = None;
             if let Ok(synth) = prevv_ir::synthesize_with(&spec, &synth_opts) {
                 if let Some(circuit) = circuit {
                     report
                         .diagnostics
-                        .extend(lint_circuit(&synth, circuit).diagnostics);
+                        .extend(lint_circuit(&synth, &circuit_for(&spec, circuit)).diagnostics);
                 }
-                summary = Some(lint_perf(&synth, perf_opts, &mut report));
+                summary = Some(lint_perf(&synth, &perf_eff, &mut report));
             }
+            report.normalize();
             (report, summary)
         }
         Err(e) => {
@@ -311,7 +354,24 @@ pub fn synthesize_with(
     if report.has_errors() {
         return Err(AnalyzeError::Rejected(report));
     }
-    let synth = prevv_ir::synthesize_with(spec, synth_opts)?;
+    let mut synth = prevv_ir::synthesize_with(spec, synth_opts)?;
+    // Value-invariant discharge (PV502): pairs absint proves disjoint over
+    // the full iteration hull leave the arbiter's validated set — the
+    // attached controller never compares them. Soundness rides on the
+    // abstract domains (cross-checked against enumeration by the property
+    // tests); the discharged pairs join `bypassed` so tooling sees them.
+    if let Some(hull) = absint::hull_box(spec) {
+        let discharged = absint::discharge_pairs(spec, &synth.deps, &synth.interface.pairs, &hull);
+        if !discharged.is_empty() {
+            synth
+                .interface
+                .pairs
+                .retain(|p| !discharged.iter().any(|(d, _)| d == p));
+            synth
+                .bypassed
+                .extend(discharged.into_iter().map(|(p, _)| p));
+        }
+    }
     let controller = analyze_opts
         .circuit_controller
         .unwrap_or(ControllerModel::Queue {
@@ -333,6 +393,7 @@ pub fn synthesize_with(
     if let Some(perf_opts) = &analyze_opts.perf {
         lint_perf(&synth, perf_opts, &mut report);
     }
+    report.normalize();
     Ok((synth, report))
 }
 
@@ -344,7 +405,11 @@ pub fn synthesize_with(
 /// checked synthesis with [`AnalyzeOptions::protocol`] run.
 pub fn protocol_report(spec: &KernelSpec, opts: &ProtocolOptions) -> Report {
     match modelcheck::check(spec, opts) {
-        Ok(result) => result.report,
+        Ok(result) => {
+            let mut r = result.report;
+            r.normalize();
+            r
+        }
         Err(e) => {
             let mut r = Report::default();
             r.push(Diagnostic::warning(

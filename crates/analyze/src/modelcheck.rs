@@ -63,15 +63,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use prevv_core::protocol::ProtocolKey;
+use prevv_core::protocol::{ProtocolKey, RecordKey};
 use prevv_core::reduce::reduce;
 use prevv_core::{Arbiter, CommitStep, PrematureRecord, PrevvConfig, ProtocolState, Verdict};
 use prevv_dataflow::{Tag, Value};
 use prevv_ir::symdep::{classify_accesses, PairClass};
-use prevv_ir::{depend::StaticMemOp, Expr, KernelSpec, MemOpKind, Span};
+use prevv_ir::{
+    depend::{AmbiguousPair, StaticMemOp},
+    Expr, KernelSpec, MemOpKind, Span,
+};
 
+use crate::absint::{self, DischargeReason};
 use crate::diag::{Code, Diagnostic, Report};
-use crate::seplog::SeparationStats;
+use crate::seplog::{Separation, SeparationStats};
 
 /// Default iteration bound when [`ProtocolOptions::iterations`] is zero.
 ///
@@ -536,6 +540,18 @@ impl McState {
     }
 }
 
+/// Per-worker scratch buffers, never shared across threads. `pool`
+/// recycles retired state buffers ([`McState::clone_from`] overwrites them
+/// in place instead of allocating); `keys` is the record-projection arena
+/// the fingerprint sorts into ([`ProtocolState::fold_key_words`]). One
+/// fingerprint runs per explored transition, so in steady state the pair
+/// makes the expansion hot loop allocation-free.
+#[derive(Default)]
+struct WorkerScratch {
+    pool: Vec<McState>,
+    keys: Vec<RecordKey>,
+}
+
 enum StepOutcome {
     /// The op has a unique enabled transition; the successor state has been
     /// written into the caller's scratch buffer.
@@ -634,6 +650,9 @@ struct Model<'a> {
     /// is proven independent of every conflicting op on the same array.
     ample_ok: Vec<bool>,
     pair_stats: SeparationStats,
+    /// Pairs the absint value domains discharged within the horizon box —
+    /// already removed from `validated`; reported as PV502 notes.
+    discharged: Vec<(AmbiguousPair, DischargeReason)>,
     expected_ram: Vec<Value>,
 }
 
@@ -641,8 +660,7 @@ impl<'a> Model<'a> {
     fn build(spec: &'a KernelSpec, opts: &ProtocolOptions) -> Result<Self, String> {
         spec.validate()
             .map_err(|e| format!("invalid kernel: {e}"))?;
-        let synth = prevv_ir::synthesize(spec).map_err(|e| format!("synthesis failed: {e}"))?;
-        let iface = &synth.interface;
+        let mut synth = prevv_ir::synthesize(spec).map_err(|e| format!("synthesis failed: {e}"))?;
 
         let requested = if opts.iterations == 0 {
             DEFAULT_ITERATION_BOUND
@@ -652,6 +670,56 @@ impl<'a> Model<'a> {
         let total = spec.iteration_count() as u64;
         let bound = requested.min(total);
         let truncated = bound < total;
+
+        let rows: Vec<Vec<Value>> = spec
+            .iteration_space()
+            .into_iter()
+            .take(bound as usize)
+            .collect();
+        let guard_taken: Vec<Vec<bool>> = rows
+            .iter()
+            .map(|row| {
+                spec.body
+                    .iter()
+                    .map(|s| s.guard.as_ref().is_none_or(|g| eval_affine(g, row) != 0))
+                    .collect()
+            })
+            .collect();
+
+        let deps = prevv_ir::depend::analyze(spec);
+        let mut pair_stats = crate::seplog::separation_stats(spec, &deps);
+
+        // Horizon-box invariant discharge (PV502): the per-level min/max of
+        // the explored iteration prefix is a rectangular box covering every
+        // explored induction-variable value; pairs the absint value domains
+        // prove disjoint within that box never collide in any explored
+        // interleaving, so they leave the validated set before exploration
+        // starts. Sound for the bounded verdicts only — PV2xx claims were
+        // already relative to the horizon (PV200, DESIGN.md).
+        let horizon_box: Vec<(Value, Value)> = (0..spec.levels.len())
+            .map(|l| {
+                let lo = rows.iter().map(|r| r[l]).min().unwrap_or(0);
+                let hi = rows.iter().map(|r| r[l]).max().unwrap_or(-1);
+                (lo, hi)
+            })
+            .collect();
+        let discharged = absint::discharge_pairs(spec, &deps, &synth.interface.pairs, &horizon_box);
+        if !discharged.is_empty() {
+            let classes = crate::seplog::classify_pairs(spec, &deps);
+            for (p, _) in &discharged {
+                match classes.iter().find(|(q, _)| q == p).map(|&(_, v)| v) {
+                    Some(Separation::MustAlias) => pair_stats.must_alias -= 1,
+                    Some(Separation::Residual) => pair_stats.residual -= 1,
+                    _ => {}
+                }
+                pair_stats.discharged += 1;
+            }
+            synth
+                .interface
+                .pairs
+                .retain(|p| !discharged.iter().any(|(d, _)| d == p));
+        }
+        let iface = &synth.interface;
 
         let ops: Vec<StaticMemOp> = iface.ports.iter().map(|p| p.op.clone()).collect();
         let mut stmt_base = Vec::with_capacity(spec.body.len());
@@ -689,27 +757,10 @@ impl<'a> Model<'a> {
             }
         }
         let init_ram = iface.initial_ram();
-        let rows: Vec<Vec<Value>> = spec
-            .iteration_space()
-            .into_iter()
-            .take(bound as usize)
-            .collect();
-        let guard_taken: Vec<Vec<bool>> = rows
-            .iter()
-            .map(|row| {
-                spec.body
-                    .iter()
-                    .map(|s| s.guard.as_ref().is_none_or(|g| eval_affine(g, row) != 0))
-                    .collect()
-            })
-            .collect();
 
         let validated = iface.ambiguous_ops();
         let reduced = reduce(iface, true).validated;
         let arbiter = Arbiter::new(validated.clone(), opts.config.forwarding);
-
-        let deps = prevv_ir::depend::analyze(spec);
-        let pair_stats = crate::seplog::separation_stats(spec, &deps);
 
         // Static ample eligibility. An op can only be explored alone when
         // its arrival provably commutes with every other enabled arrival:
@@ -798,6 +849,7 @@ impl<'a> Model<'a> {
             reduced,
             ample_ok,
             pair_stats,
+            discharged,
             expected_ram,
         })
     }
@@ -814,10 +866,12 @@ impl<'a> Model<'a> {
     /// canonical protocol-key words, the issue cursors and the RAM image.
     /// All three sections have a state-independent length for a given
     /// model (the key stream is length-prefixed), so no separators are
-    /// needed. Zero is remapped (it marks an empty table slot).
-    fn fingerprint(&self, st: &McState) -> u64 {
+    /// needed. Zero is remapped (it marks an empty table slot). `keys` is
+    /// the caller's reusable record-projection arena — this runs once per
+    /// explored transition and must not allocate.
+    fn fingerprint(&self, st: &McState, keys: &mut Vec<RecordKey>) -> u64 {
         let mut h = 0x5157_cc1b_7272_20a5u64;
-        st.proto.key().fold_words(|w| h = splitmix(h ^ w));
+        st.proto.fold_key_words(keys, |w| h = splitmix(h ^ w));
         for &i in &st.issued {
             h = splitmix(h ^ i);
         }
@@ -1158,17 +1212,17 @@ impl<'a> Model<'a> {
     /// costs no allocation at all — the ring, issue cursors and RAM image
     /// of a previously discarded state are overwritten in place. Kept
     /// successors are moved out whole and replaced from the pool.
-    fn expand_state(&self, st: &McState, pool: &mut Vec<McState>) -> StateResult {
-        let mut scratch = pool.pop().unwrap_or_else(McState::hollow);
-        let result = self.expand_state_with(st, pool, &mut scratch);
-        pool.push(scratch);
+    fn expand_state(&self, st: &McState, ws: &mut WorkerScratch) -> StateResult {
+        let mut scratch = ws.pool.pop().unwrap_or_else(McState::hollow);
+        let result = self.expand_state_with(st, ws, &mut scratch);
+        ws.pool.push(scratch);
         result
     }
 
     fn expand_state_with(
         &self,
         st: &McState,
-        pool: &mut Vec<McState>,
+        ws: &mut WorkerScratch,
         scratch: &mut McState,
     ) -> StateResult {
         let statuses: Vec<OpStatus> = (0..self.ops.len())
@@ -1177,7 +1231,7 @@ impl<'a> Model<'a> {
         let enabled_count = statuses.iter().filter(|&&s| s == OpStatus::Enabled).count();
 
         if self.por && enabled_count > 1 {
-            if let Some(res) = self.try_ample(st, &statuses, enabled_count, pool, scratch) {
+            if let Some(res) = self.try_ample(st, &statuses, enabled_count, ws, scratch) {
                 return res;
             }
         }
@@ -1205,8 +1259,8 @@ impl<'a> Model<'a> {
                         // monotone, so a cycle holds them constant).
                         squash_cands.push((scratch.clone(), event));
                     }
-                    let fp = self.fingerprint(scratch);
-                    let replacement = pool.pop().unwrap_or_else(McState::hollow);
+                    let fp = self.fingerprint(scratch, &mut ws.keys);
+                    let replacement = ws.pool.pop().unwrap_or_else(McState::hollow);
                     succs.push(Succ {
                         op,
                         fp,
@@ -1258,7 +1312,7 @@ impl<'a> Model<'a> {
         st: &McState,
         statuses: &[OpStatus],
         enabled_count: usize,
-        pool: &mut Vec<McState>,
+        ws: &mut WorkerScratch,
         scratch: &mut McState,
     ) -> Option<StateResult> {
         for p in 0..self.ops.len() {
@@ -1301,8 +1355,8 @@ impl<'a> Model<'a> {
             if !persistent {
                 continue;
             }
-            let fp = self.fingerprint(scratch);
-            let replacement = pool.pop().unwrap_or_else(McState::hollow);
+            let fp = self.fingerprint(scratch, &mut ws.keys);
+            let replacement = ws.pool.pop().unwrap_or_else(McState::hollow);
             return Some(StateResult {
                 succs: vec![Succ {
                     op: p,
@@ -1324,16 +1378,17 @@ impl<'a> Model<'a> {
     /// index, so exploration is deterministic and single-threaded runs are
     /// byte-identical to multi-threaded ones.
     ///
-    /// `pool` recycles retired state buffers (see [`Model::expand_state`]);
-    /// the sequential path threads it straight through, while parallel
-    /// workers keep thread-local pools (recycled states surface on the
-    /// merging thread and cannot cheaply cross back).
-    fn expand_level(&self, level: &[(u64, McState)], pool: &mut Vec<McState>) -> Vec<StateResult> {
+    /// `ws` holds the worker scratch (recycled state buffers plus the
+    /// fingerprint key arena, see [`Model::expand_state`]); the sequential
+    /// path threads it straight through, while parallel workers keep
+    /// thread-local scratch (recycled states surface on the merging thread
+    /// and cannot cheaply cross back).
+    fn expand_level(&self, level: &[(u64, McState)], ws: &mut WorkerScratch) -> Vec<StateResult> {
         const CHUNK: usize = 256;
         if self.threads <= 1 || level.len() <= CHUNK {
             return level
                 .iter()
-                .map(|(_, st)| self.expand_state(st, pool))
+                .map(|(_, st)| self.expand_state(st, ws))
                 .collect();
         }
         let nchunks = level.len().div_ceil(CHUNK);
@@ -1343,7 +1398,7 @@ impl<'a> Model<'a> {
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(nchunks) {
                 scope.spawn(|| {
-                    let mut local_pool: Vec<McState> = Vec::new();
+                    let mut local = WorkerScratch::default();
                     loop {
                         let c = counter.fetch_add(1, Ordering::Relaxed);
                         if c >= nchunks {
@@ -1353,7 +1408,7 @@ impl<'a> Model<'a> {
                         let hi = (lo + CHUNK).min(level.len());
                         let out: Vec<StateResult> = level[lo..hi]
                             .iter()
-                            .map(|(_, st)| self.expand_state(st, &mut local_pool))
+                            .map(|(_, st)| self.expand_state(st, &mut local))
                             .collect();
                         results.lock().expect("worker panicked").push((c, out));
                     }
@@ -1467,7 +1522,12 @@ impl<'a> Model<'a> {
         let start = Instant::now();
         let mut init = self.initial();
         self.housekeeping(&mut init);
-        let init_fp = self.fingerprint(&init);
+        // Retired states (duplicate successors, fully expanded parents) are
+        // recycled through the worker scratch so the expansion hot loop
+        // reuses their buffers instead of allocating fresh ones per
+        // transition; the key arena is recycled the same way.
+        let mut ws = WorkerScratch::default();
+        let init_fp = self.fingerprint(&init, &mut ws.keys);
 
         let mut visited = FpTable::new();
         visited.insert(init_fp, 0, ROOT_OP);
@@ -1487,12 +1547,8 @@ impl<'a> Model<'a> {
         let mut squash_cands: Vec<(u64, McState, McState, TraceEvent)> = Vec::new();
 
         let mut level: Vec<(u64, McState)> = vec![(init_fp, init.clone())];
-        // Retired states (duplicate successors, fully expanded parents) are
-        // recycled here so the expansion hot loop reuses their buffers
-        // instead of allocating fresh ones for every transition.
-        let mut pool: Vec<McState> = Vec::new();
         'levels: while !level.is_empty() {
-            let results = self.expand_level(&level, &mut pool);
+            let results = self.expand_level(&level, &mut ws);
             let mut next_level: Vec<(u64, McState)> = Vec::new();
             for (si, res) in results.into_iter().enumerate() {
                 let (st_fp, st) = &level[si];
@@ -1529,11 +1585,11 @@ impl<'a> Model<'a> {
                                 audit_collisions += 1;
                             }
                         }
-                        pool.push(succ.state);
+                        ws.pool.push(succ.state);
                     }
                 }
             }
-            pool.extend(level.drain(..).map(|(_, st)| st));
+            ws.pool.extend(level.drain(..).map(|(_, st)| st));
             level = next_level;
         }
 
@@ -1550,6 +1606,25 @@ impl<'a> Model<'a> {
                     self.spec.iteration_count()
                 ),
             ));
+        }
+        for (pair, reason) in &self.discharged {
+            report.push(
+                Diagnostic::note(
+                    Code::InvariantDischarge,
+                    format!(
+                        "value invariants discharge the {}#{} / {}#{} pair within the \
+                         explored bound ({} iteration(s)): {} — the pair leaves the \
+                         checker's validated set",
+                        self.labels[pair.load],
+                        pair.load,
+                        self.labels[pair.store],
+                        pair.store,
+                        self.bound,
+                        reason.describe()
+                    ),
+                )
+                .with_span(self.spans[pair.load].or(self.spans[pair.store])),
+            );
         }
         if !complete {
             report.push(
@@ -1886,7 +1961,11 @@ mod tests {
     fn pv204_reduction_escape_on_eliminated_store() {
         // Two consecutive ambiguous stores to `a`: Eq. 11-12 keeps the
         // last as representative. An opaque-indexed load later in program
-        // order can be flagged by the *eliminated* first store.
+        // order can be flagged by the *eliminated* first store. The opaque
+        // modulus is 2 so the load's value footprint covers both store
+        // addresses — a modulus of 1 would pin the index to 0 and the
+        // invariant discharge would (correctly) retire the store-to-1 pair,
+        // dissolving the run the reduction eliminates from.
         let a = ArrayId(0);
         let b = ArrayId(1);
         let spec = KernelSpec::new(
@@ -1899,7 +1978,7 @@ mod tests {
                 Stmt::store(
                     b,
                     Expr::var(0),
-                    Expr::load(a, Expr::var(0).opaque(OpaqueFn::new(3, 1))),
+                    Expr::load(a, Expr::var(0).opaque(OpaqueFn::new(3, 2))),
                 ),
             ],
         )

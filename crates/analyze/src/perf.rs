@@ -48,7 +48,7 @@ use prevv_dataflow::{Netlist, Value};
 use prevv_ir::depend::{pair_distances, PairDistance};
 use prevv_ir::{ArrayId, Expr, KernelSpec, MemOpKind, SynthesizedKernel};
 
-use crate::diag::{json_string, Code, Diagnostic, Report};
+use crate::diag::{json_string, Code, Diagnostic, Report, Suggestion};
 
 /// Iteration spaces larger than this are not enumerated; guard densities
 /// fall back to their sound defaults and the address-stream interpreter is
@@ -116,8 +116,14 @@ pub struct PerfSummary {
     /// `compute_cycle` binds (empty otherwise).
     pub critical_cycle: Vec<String>,
     /// §V-A queue depth that moves a queue-bound kernel back to its
-    /// datapath bound (`None` when the queue does not bind).
+    /// datapath bound (`None` when the queue does not bind). Capped by
+    /// [`Self::occupancy_bound`]: depth beyond what the whole run can
+    /// enqueue is dead area, however matched the pair model wants it.
     pub recommended_depth: Option<usize>,
+    /// Static occupancy bound from the value analysis: the whole run
+    /// admits at most this many records (`None` when unbounded or the
+    /// kernel has no memory ops).
+    pub occupancy_bound: Option<u64>,
     /// Iterations the kernel issues (denominator for measured II).
     pub iterations: usize,
 }
@@ -143,15 +149,20 @@ impl PerfSummary {
         let depth = self
             .recommended_depth
             .map_or("null".to_string(), |d| d.to_string());
+        let occupancy = self
+            .occupancy_bound
+            .map_or("null".to_string(), |b| b.to_string());
         format!(
             "{{\"ii_bound\":{:.3},\"predicted_ii\":{:.3},\"predicted_cycles\":{:.0},\
-             \"binding_resource\":{},\"critical_cycle\":[{}],\"recommended_depth\":{}}}",
+             \"binding_resource\":{},\"critical_cycle\":[{}],\"recommended_depth\":{},\
+             \"occupancy_bound\":{}}}",
             self.ii_bound,
             self.predicted_ii,
             self.predicted_cycles,
             json_string(&self.binding_resource),
             cycle,
             depth,
+            occupancy,
         )
     }
 }
@@ -923,12 +934,25 @@ pub fn lint_perf(
     // PV402: the premature queue (a configuration knob, unlike a port) is
     // the predicted bottleneck.
     let queue_bound = ii_queue > best_non_queue + EPS;
-    let recommended_depth = if queue_bound {
+    let occupancy = match crate::absint::occupancy_bound(spec) {
+        0 => None,
+        b => Some(b as u64),
+    };
+    let matched_depth = if queue_bound {
         let needed = (ops * QUEUE_RESIDENCY / best_non_queue.max(1.0)).ceil() as usize;
         Some(needed.max(cfg.depth + 1).next_power_of_two())
     } else {
         None
     };
+    // The §V-A matched depth chases the steady state; the value analysis
+    // bounds how many records the whole run can ever enqueue. A matched
+    // depth past that bound is dead area, and a bound at or below the
+    // configured depth means the asymptotic queue term never materializes
+    // over so short a run.
+    let recommended_depth = matched_depth.and_then(|want| {
+        let capped = prevv_core::sizing::cap_depth_by_occupancy(want, occupancy);
+        (capped > cfg.depth).then_some(capped)
+    });
 
     let ii_text = if ii_bound.is_finite() {
         format!("{ii_bound:.2}")
@@ -979,21 +1003,36 @@ pub fn lint_perf(
     }
 
     if let Some(depth) = recommended_depth {
-        report.push(
-            Diagnostic::warning(
-                Code::QueueBound,
-                format!(
-                    "premature-queue serialization binds throughput: depth {} sustains only \
-                     II {ii_queue:.2} while the datapath could run at II {best_non_queue:.2}",
-                    cfg.depth
-                ),
-            )
-            .with_span(span)
-            .with_help(format!(
-                "raise depth_q to {depth} (§V-A matched sizing) to shift the bottleneck back \
-                 to the datapath"
-            )),
+        let mut help = format!(
+            "raise depth_q to {depth} (§V-A matched sizing) to shift the bottleneck back \
+             to the datapath"
         );
+        if matched_depth.is_some_and(|want| depth < want) {
+            if let Some(bound) = occupancy {
+                help.push_str(&format!(
+                    " — the static occupancy bound ({bound} record(s) over the whole run) \
+                     caps the matched depth"
+                ));
+            }
+        }
+        let mut diag = Diagnostic::warning(
+            Code::QueueBound,
+            format!(
+                "premature-queue serialization binds throughput: depth {} sustains only \
+                 II {ii_queue:.2} while the datapath could run at II {best_non_queue:.2}",
+                cfg.depth
+            ),
+        )
+        .with_span(span)
+        .with_help(help);
+        if let Some((_, dspan)) = spec.depth_hint() {
+            diag = diag.with_suggestion(Suggestion::new(
+                dspan,
+                format!("depth_q = {depth};"),
+                format!("resize the premature queue to the matched depth {depth}"),
+            ));
+        }
+        report.push(diag);
     }
 
     PerfSummary {
@@ -1007,6 +1046,7 @@ pub fn lint_perf(
             Vec::new()
         },
         recommended_depth,
+        occupancy_bound: occupancy,
         iterations: n_iter,
     }
 }
@@ -1307,6 +1347,39 @@ mod tests {
     }
 
     #[test]
+    fn occupancy_bound_caps_pv402_and_rewrites_the_directive() {
+        // Two iterations x two mem ops: the whole run enqueues at most 4
+        // records, so the §V-A matched depth (way past 4 for this shallow
+        // queue) is capped at the occupancy power of two.
+        let spec = prevv_ir::parse::parse_kernel(
+            "tiny",
+            "depth_q = 2;\nint a[4];\nfor (int i = 0; i < 2; ++i) { a[i] += 1; }\n",
+        )
+        .expect("parses");
+        let synth = prevv_ir::synthesize(&spec).expect("synthesizes");
+        let mut report = Report::default();
+        let opts = PerfOptions {
+            config: PrevvConfig::with_depth(2),
+        };
+        let summary = lint_perf(&synth, &opts, &mut report);
+        assert_eq!(summary.occupancy_bound, Some(4));
+        let warn = report.with_code(Code::QueueBound);
+        assert_eq!(warn.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(summary.recommended_depth, Some(4), "capped at pow2(4)");
+        assert!(
+            warn[0].help.as_deref().unwrap_or("").contains("occupancy"),
+            "help explains the cap: {:?}",
+            warn[0].help
+        );
+        // The directive is present, so the fix is machine-applicable.
+        let sugg = warn[0].suggestion.as_ref().expect("directive rewrite");
+        assert_eq!(sugg.replacement, "depth_q = 4;");
+        let (_, dspan) = spec.depth_hint().expect("hint");
+        assert_eq!(sugg.span, dspan);
+        assert!(summary.to_json().contains("\"occupancy_bound\":4"));
+    }
+
+    #[test]
     fn measured_divergence_raises_pv403() {
         let summary = PerfSummary {
             ii_bound: 1.0,
@@ -1315,6 +1388,7 @@ mod tests {
             binding_resource: "read_ports".into(),
             critical_cycle: vec![],
             recommended_depth: None,
+            occupancy_bound: None,
             iterations: 100,
         };
         assert!(check_measured(&summary, 101).is_none(), "within tolerance");

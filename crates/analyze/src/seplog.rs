@@ -38,6 +38,7 @@ use prevv_ir::depend::{AmbiguousPair, Dependences};
 use prevv_ir::symdep::{classify_accesses, AffineForm, PairClass};
 use prevv_ir::KernelSpec;
 
+use crate::absint;
 use crate::diag::{Code, Diagnostic, Report};
 use crate::lints::op_spans;
 
@@ -128,13 +129,39 @@ pub fn separation_stats(spec: &KernelSpec, deps: &Dependences) -> SeparationStat
 /// The lint pass: one PV301 note per discharged pair, one PV302 note per
 /// must-alias pair, and a single PV300 horizon note when anything remains
 /// for the dynamic arbiter.
+///
+/// Pairs the affine prover cannot discharge get a second chance with the
+/// [`absint`] value domains over the full iteration hull: guard-refined
+/// footprints that are disjoint by interval or congruence (e.g. a store
+/// guarded to even iterations against a load guarded to odd ones) become
+/// PV502 notes and stop counting against the separation horizon.
 pub(crate) fn check_separation(spec: &KernelSpec, deps: &Dependences, report: &mut Report) {
     let spans = op_spans(spec, &deps.ops);
     let verdicts = classify_pairs(spec, deps);
+    let hull = absint::hull_box(spec);
     let mut residual = 0usize;
     for (pair, verdict) in &verdicts {
         let name = &spec.arrays[deps.ops[pair.load].array.0].name;
         let span = spans[pair.load].or(spans[pair.store]);
+        if !verdict.discharged() {
+            if let Some(reason) = hull
+                .as_deref()
+                .and_then(|b| absint::discharge_pair(spec, deps, *pair, b))
+            {
+                report.push(
+                    Diagnostic::note(
+                        Code::InvariantDischarge,
+                        format!(
+                            "value invariants discharge the load/store pair on `{name}`: \
+                             {} — the pair leaves the arbiter's validated set",
+                            reason.describe()
+                        ),
+                    )
+                    .with_span(span),
+                );
+                continue;
+            }
+        }
         match verdict {
             Separation::DisjointFootprints => report.push(
                 Diagnostic::note(
@@ -263,6 +290,26 @@ mod tests {
         assert_eq!(stats.conservative, 4);
         assert_eq!(stats.discharged, 3, "the three affine b pairs");
         assert_eq!(stats.residual, 1, "the data-dependent a pair");
+    }
+
+    #[test]
+    fn parity_guarded_pair_is_value_discharged_not_residual() {
+        // Both accesses follow the same affine index `i`, so the affine
+        // prover says must-alias — but the guards confine the store to even
+        // iterations and the load to odd ones, and the congruence domain
+        // proves the footprints disjoint (PV502, no horizon note).
+        let spec = parse_kernel(
+            "parity",
+            "int a[8];\nint s[8];\nfor (int i = 0; i < 8; ++i) {\n  \
+             if (i % 2 == 0) a[i] = i;\n  if (i % 2 == 1) s[i] = a[i]; }",
+        )
+        .expect("parses");
+        let deps = analyze(&spec);
+        let mut report = Report::default();
+        check_separation(&spec, &deps, &mut report);
+        assert_eq!(report.with_code(Code::InvariantDischarge).len(), 1);
+        assert!(report.with_code(Code::MustAlias).is_empty());
+        assert!(report.with_code(Code::SeparationHorizon).is_empty());
     }
 
     #[test]

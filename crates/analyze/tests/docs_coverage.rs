@@ -1,0 +1,32 @@
+//! Meta-test: the diagnostic surface stays documented. Every `Code`
+//! variant (via `explain::ALL`, whose exhaustiveness against the enum is
+//! enforced in `explain.rs` unit tests) must resolve through
+//! `prevv-lint --explain` and own a row in the README's diagnostics table,
+//! so adding a code without documenting it fails CI rather than shipping a
+//! bare `PVxxx` string to users.
+
+use prevv_analyze::explain::ALL;
+use prevv_analyze::explain_code;
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn every_code_has_an_explain_entry_and_a_readme_table_row() {
+    let readme = readme();
+    for entry in ALL {
+        let code = entry.code.as_str();
+        let explained = explain_code(code)
+            .unwrap_or_else(|| panic!("--explain {code} resolves to nothing despite an ALL entry"));
+        assert!(
+            !explained.doc.trim().is_empty() && !explained.example.trim().is_empty(),
+            "{code} explanation must carry doc text and a triggering example"
+        );
+        assert!(
+            readme.contains(&format!("| {code} |")),
+            "README.md diagnostics table lacks a row for {code}"
+        );
+    }
+}

@@ -83,6 +83,24 @@ pub fn recommend_depth(pairs: &[PairTiming]) -> usize {
     (mean.ceil() as usize).max(1).next_power_of_two()
 }
 
+/// Caps a matched-pair depth recommendation by a statically proven
+/// occupancy bound.
+///
+/// A premature queue can never hold more records than the kernel admits
+/// over its whole run (`mem-ops-per-iteration × iterations`), so any depth
+/// beyond the next power of two above that bound is BRAM the hardware can
+/// never fill. `None` (no static bound) leaves the recommendation alone.
+/// The result stays at least 1 and stays a power of two when `recommended`
+/// is one.
+pub fn cap_depth_by_occupancy(recommended: usize, occupancy: Option<u64>) -> usize {
+    let Some(occ) = occupancy else {
+        return recommended.max(1);
+    };
+    let occ = usize::try_from(occ).unwrap_or(usize::MAX);
+    let cap = occ.max(1).checked_next_power_of_two().unwrap_or(usize::MAX);
+    recommended.clamp(1, cap)
+}
+
 /// Recurrence-constrained initiation interval: a dependence chain that
 /// takes `chain_latency` cycles and recurs every `distance` iterations
 /// bounds the pipeline at `II >= chain_latency / distance` (the classic
@@ -246,6 +264,20 @@ mod tests {
             span_n: 6.0,
         };
         assert!(!overlapped.independent());
+    }
+
+    #[test]
+    fn occupancy_cap_bounds_the_recommendation() {
+        // A 4-record lifetime bound caps depth 64 at the next power of two.
+        assert_eq!(cap_depth_by_occupancy(64, Some(3)), 4);
+        assert_eq!(cap_depth_by_occupancy(64, Some(4)), 4);
+        // Bound above the recommendation leaves it alone, as does no bound.
+        assert_eq!(cap_depth_by_occupancy(8, Some(1000)), 8);
+        assert_eq!(cap_depth_by_occupancy(8, None), 8);
+        // Degenerate inputs stay sane.
+        assert_eq!(cap_depth_by_occupancy(0, None), 1);
+        assert_eq!(cap_depth_by_occupancy(16, Some(0)), 1);
+        assert_eq!(cap_depth_by_occupancy(16, Some(u64::MAX)), 16);
     }
 
     #[test]

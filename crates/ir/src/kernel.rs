@@ -179,7 +179,11 @@ impl Stmt {
 }
 
 /// A complete kernel: loop nest, arrays, and body.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares semantics only (name, levels, arrays, body); the
+/// optional `depth_q` directive recorded by the parser is configuration
+/// metadata, like statement spans.
+#[derive(Debug, Clone, Eq)]
 pub struct KernelSpec {
     /// Kernel name (reports and labels).
     pub name: String,
@@ -190,6 +194,20 @@ pub struct KernelSpec {
     pub arrays: Vec<ArrayDecl>,
     /// Straight-line body executed once per innermost iteration.
     pub body: Vec<Stmt>,
+    /// Premature-queue depth pinned by a `depth_q = N;` source directive,
+    /// with the directive's span (populated by the parser, `None`
+    /// otherwise). Overrides CLI depth options: the file records the
+    /// configuration it was authored for.
+    depth_hint: Option<(usize, Span)>,
+}
+
+impl PartialEq for KernelSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.levels == other.levels
+            && self.arrays == other.arrays
+            && self.body == other.body
+    }
 }
 
 /// Problems detected by [`KernelSpec::validate`].
@@ -242,9 +260,23 @@ impl KernelSpec {
             levels,
             arrays,
             body,
+            depth_hint: None,
         };
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// Attaches a `depth_q = N;` directive (builder style; used by the
+    /// parser).
+    #[must_use]
+    pub fn with_depth_hint(mut self, depth: usize, span: Span) -> Self {
+        self.depth_hint = Some((depth, span));
+        self
+    }
+
+    /// The `depth_q` pinned by a source directive, with its span, if any.
+    pub fn depth_hint(&self) -> Option<(usize, Span)> {
+        self.depth_hint
     }
 
     /// Checks referential integrity of the kernel.

@@ -17,6 +17,11 @@
 //!
 //! Loop bounds may reference outer induction variables (`for (int j = i + 1;
 //! j < 8; ++j)`), matching the triangular nests of the paper's kernels.
+//!
+//! A `depth_q = N;` directive among the declarations pins the
+//! premature-queue depth the file was authored for; it overrides CLI depth
+//! options downstream and is the span `prevv-lint --fix` rewrites when a
+//! sizing lint (PV402/PV503) suggests a different depth.
 
 use std::fmt;
 
@@ -105,7 +110,11 @@ pub fn parse_kernel(name: &str, source: &str) -> Result<KernelSpec, ParseError> 
         return Err(p.error("trailing input after the loop nest"));
     }
     let decls = arrays.into_iter().map(|(_, d)| d).collect();
-    Ok(KernelSpec::new(name, levels, decls, body)?)
+    let mut spec = KernelSpec::new(name, levels, decls, body)?;
+    if let Some((depth, span)) = p.depth_hint {
+        spec = spec.with_depth_hint(depth, span);
+    }
+    Ok(spec)
 }
 
 struct Parser<'a> {
@@ -115,6 +124,8 @@ struct Parser<'a> {
     /// (inner loads before the loads containing them — the same depth-first
     /// order as [`Expr::loads`]). Drained per statement.
     load_spans: Vec<Span>,
+    /// `depth_q = N;` directive seen among the declarations, with its span.
+    depth_hint: Option<(usize, Span)>,
 }
 
 type Arrays = Vec<(String, ArrayDecl)>;
@@ -125,6 +136,7 @@ impl<'a> Parser<'a> {
             src,
             pos: 0,
             load_spans: Vec::new(),
+            depth_hint: None,
         }
     }
 
@@ -236,9 +248,38 @@ impl<'a> Parser<'a> {
 
     // --- declarations -----------------------------------------------------
 
+    /// `depth_q = N;` — pins the premature-queue depth the file was
+    /// authored for (overrides CLI depth options downstream).
+    fn parse_depth_directive(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        self.expect("depth_q")?;
+        self.expect("=")?;
+        let n = self.number()?;
+        if n <= 0 {
+            return Err(self.error("depth_q must be positive"));
+        }
+        self.expect(";")?;
+        if self.depth_hint.is_some() {
+            return Err(ParseError {
+                at: start,
+                message: "depth_q declared twice".into(),
+            });
+        }
+        self.depth_hint = Some((n as usize, Span::new(start, self.pos)));
+        Ok(())
+    }
+
     fn parse_decls(&mut self) -> Result<Arrays, ParseError> {
         let mut arrays = Arrays::new();
-        while self.peek_keyword("int") {
+        loop {
+            if self.peek_keyword("depth_q") {
+                self.parse_depth_directive()?;
+                continue;
+            }
+            if !self.peek_keyword("int") {
+                break;
+            }
             // Lookahead: `int name[` is a declaration, `int i = 0` inside a
             // for-header never reaches here (we stop before `for`).
             let save = self.pos;

@@ -44,6 +44,8 @@ lint_must_fail() {
 }
 lint_must_fail kernels/bad/oob.pvk
 lint_must_fail kernels/bad/undeclared.pvk
+lint_must_fail --deny-warnings kernels/bad/infeasible_guard.pvk
+lint_must_fail --deny-warnings kernels/bad/range_oob.pvk
 lint_must_fail --no-fake-tokens kernels/bad/guarded_nofake.pvk
 lint_must_fail --circuit kernels/bad/undersized_queue.pvk
 lint_must_fail --circuit --controller direct kernels/bad/combinational_loop.pvk
@@ -67,6 +69,13 @@ discharged, conservative = proto["pairs"]["discharged"], proto["pairs"]["conserv
 print(f"    {nfiles} kernels protocol-clean within the exploration bound")
 print(f"    {states} states, reduction ratio {ratio}, "
       f"{discharged}/{conservative} pairs discharged")
+tri = [f for f in doc["files"] if f["file"].endswith("triangular.pvk")]
+pv502 = sum(1 for f in tri
+            for d in f["report"]["diagnostics"] if d["code"] == "PV502")
+if pv502 < 1:
+    sys.exit("triangular.pvk must gain at least one PV502 invariant "
+             "discharge within the horizon")
+print(f"    triangular.pvk: {pv502} PV502 invariant discharge(s)")
 '
 
 echo "==> protocol model checker (collision audit must count zero)"
@@ -108,6 +117,41 @@ print(f"    worst kernel: II bound {bound:.2f}, predicted II {pred:.2f} ({res})"
 echo "==> PV4xx static throughput (undersized queue must be refused)"
 lint_must_fail --circuit --perf --deny-warnings --depth 4 \
     kernels/bad/throughput_cliff.pvk
+
+echo "==> prevv-lint --fix (machine-applicable fixes must converge on scratch copies)"
+fixdir=$(mktemp -d)
+trap 'rm -rf "$fixdir"' EXIT
+cp kernels/bad/infeasible_guard.pvk kernels/bad/throughput_cliff.pvk "$fixdir/"
+cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --fix "$fixdir/infeasible_guard.pvk" >/dev/null
+cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --circuit --perf --fix "$fixdir/throughput_cliff.pvk" >/dev/null
+# The patched copies must re-lint clean of the codes that were fixed:
+# PV501's dead statement is gone, and the rewritten depth_q directive
+# (4 -> matched 8) silences both PV402 and the PV104 capacity warning.
+out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --format json "$fixdir/infeasible_guard.pvk")
+if grep -q PV501 <<<"$out"; then
+  echo "error: fixed infeasible_guard.pvk still reports PV501" >&2
+  exit 1
+fi
+out=$(cargo run -q --release -p prevv-analyze --bin prevv-lint -- \
+    --circuit --perf --format json "$fixdir/throughput_cliff.pvk")
+if grep -qE 'PV402|PV104' <<<"$out"; then
+  echo "error: fixed throughput_cliff.pvk still reports PV402/PV104" >&2
+  exit 1
+fi
+if ! grep -q 'depth_q = 8;' "$fixdir/throughput_cliff.pvk"; then
+  echo "error: --fix did not rewrite the depth_q directive" >&2
+  exit 1
+fi
+# Record what --fix changed, for the CI artifact.
+mkdir -p target
+{
+  diff -u kernels/bad/infeasible_guard.pvk "$fixdir/infeasible_guard.pvk" || true
+  diff -u kernels/bad/throughput_cliff.pvk "$fixdir/throughput_cliff.pvk" || true
+} > target/fixed_fixtures.diff
+echo "    2 fixture copies fixed, re-lint clean (diff in target/fixed_fixtures.diff)"
 
 echo "==> checker throughput -> BENCH_modelcheck.json"
 # Best-of-N over the unreduced fig2a space (the largest reachable space a

@@ -550,6 +550,11 @@ fn throughput_cliff_fixture_is_pv402_with_a_real_cliff() {
         "help recommends the §V-A matched depth: {help}"
     );
     assert_eq!(summary.recommended_depth, Some(8));
+    let sugg = d[0]
+        .suggestion
+        .as_ref()
+        .expect("the depth_q directive makes the resize machine-applicable");
+    assert_eq!(sugg.replacement, "depth_q = 8;");
     assert!(
         summary.predicted_ii >= 2.0 * summary.ii_bound - 1e-9,
         "queue serialization ({:.2}) dominates the datapath bound ({:.2})",
@@ -557,10 +562,17 @@ fn throughput_cliff_fixture_is_pv402_with_a_real_cliff() {
         summary.ii_bound
     );
 
-    // The default depth absorbs the stream: no PV402, no recommendation.
+    // Without the in-source directive (which pins the undersized depth 4
+    // and overrides any configured default), the default depth absorbs the
+    // stream: no PV402, no recommendation.
+    let undirected: String = source
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("depth_q"))
+        .collect::<Vec<_>>()
+        .join("\n");
     let (clean_report, clean_summary) = analyze::lint_source_with_perf(
         &name,
-        &source,
+        &undirected,
         &AnalyzeOptions::default(),
         None,
         &analyze::PerfOptions::default(),
@@ -584,4 +596,66 @@ fn throughput_cliff_fixture_is_pv402_with_a_real_cliff() {
         shallow.report.cycles,
         deep.report.cycles
     );
+}
+
+/// The `kernels/bad/infeasible_guard.pvk` fixture: the interval domain
+/// proves `i < 0` false on every iteration of `0 <= i < 8`, so PV501 names
+/// the dead statement with a machine-applicable removal — and the patched
+/// source must re-lint free of PV501 (`--fix` is a fixpoint, not a loop).
+#[test]
+fn infeasible_guard_fixture_is_pv501_with_a_removal_fix() {
+    let (name, source) = read_fixture("kernels/bad/infeasible_guard.pvk");
+    let report = analyze::lint_source(&name, &source, &AnalyzeOptions::default());
+    assert!(!report.has_errors(), "PV501 is a warning, not an error");
+
+    let d = report.with_code(Code::InfeasibleGuard);
+    assert_eq!(d.len(), 1, "exactly one PV501: {:?}", report.diagnostics);
+    assert_eq!(d[0].severity, Severity::Warning);
+    let span = d[0].span.expect("PV501 points at the dead statement");
+    assert_eq!(&source[span.start..span.end], "if (i < 0) a[i] = 1;");
+
+    let sugg = d[0]
+        .suggestion
+        .as_ref()
+        .expect("a multi-statement kernel makes the removal machine-applicable");
+    assert!(sugg.replacement.is_empty(), "the fix deletes the statement");
+
+    // Applying the fix leaves a valid kernel that is clean of PV501.
+    let mut fixed = source.clone();
+    fixed.replace_range(sugg.span.start..sugg.span.end, &sugg.replacement);
+    let refixed = analyze::lint_source(&name, &fixed, &AnalyzeOptions::default());
+    assert!(
+        refixed.with_code(Code::Parse).is_empty(),
+        "fix must re-parse"
+    );
+    assert!(
+        refixed.with_code(Code::InfeasibleGuard).is_empty(),
+        "the fix discharges PV501: {:?}",
+        refixed.diagnostics
+    );
+}
+
+/// The `kernels/bad/range_oob.pvk` fixture: the store address `a[b[i]]` is
+/// runtime-indirect, so the affine PV001 check is blind — but `b` is
+/// store-free and its initializer puts 9 in range, past the end of `a[4]`,
+/// so the value analysis proves the violation where the dependence engine
+/// alone could only shrug.
+#[test]
+fn range_oob_fixture_is_pv500_where_pv001_is_blind() {
+    let (name, source) = read_fixture("kernels/bad/range_oob.pvk");
+    let report = analyze::lint_source(&name, &source, &AnalyzeOptions::default());
+
+    assert!(
+        report.with_code(Code::OutOfBounds).is_empty(),
+        "the affine PV001 check must be blind to the indirect index"
+    );
+    let d = report.with_code(Code::RangeOutOfBounds);
+    assert_eq!(d.len(), 1, "exactly one PV500: {:?}", report.diagnostics);
+    assert_eq!(d[0].severity, Severity::Warning);
+    assert!(
+        d[0].message.contains('9') && d[0].message.contains("length 4"),
+        "PV500 names the witness index and the array bound: {}",
+        d[0].message
+    );
+    assert!(d[0].span.is_some(), "PV500 points at the offending store");
 }
