@@ -1,0 +1,262 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this shim provides the
+//! small slice of rayon's API the workspace uses — `par_iter().map(f)
+//! .collect::<Vec<_>>()` over slices, plus `ThreadPoolBuilder` /
+//! `current_num_threads` — implemented with `std::thread::scope`.
+//!
+//! Determinism contract (stronger than a real work-stealing pool, and what
+//! the sweep driver's byte-identical-output guarantee leans on): results are
+//! written into their item's slot, so the collected `Vec` is in input order
+//! at any thread count. Work is split into contiguous index chunks, one per
+//! worker.
+//!
+//! Thread count resolution order: an `install`ed pool's `num_threads`, then
+//! the `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::env;
+use std::thread;
+
+thread_local! {
+    /// Override installed by `ThreadPool::install`, like rayon's notion of
+    /// "the current pool".
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads that a parallel iterator would use right now.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|p| p.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Mirrors `rayon::ThreadPoolBuilder` far enough to build a fixed-size pool.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the worker count (0 means "use the default", as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible here; the error type exists only for
+    /// signature compatibility.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A fixed-size "pool": this shim spawns scoped threads per call rather than
+/// keeping workers alive, but `install` scopes the thread count exactly like
+/// rayon's.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators used inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|p| {
+            let prev = p.replace(Some(self.num_threads));
+            let out = op();
+            p.set(prev);
+            out
+        })
+    }
+}
+
+/// Entry points of `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped stage; `collect()` runs the map across the workers.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The subset of `rayon::iter::ParallelIterator` the workspace consumes:
+/// `collect` into a `Vec` (in input order — see the crate docs).
+pub trait ParallelIterator {
+    type Out;
+    fn collect<C: FromParallel<Self::Out>>(self) -> C;
+}
+
+/// Collection target of [`ParallelIterator::collect`].
+pub trait FromParallel<T> {
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Out = R;
+
+    fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_ordered(run_ordered(self.items, current_num_threads(), &self.f))
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning the
+/// results in input order. Each worker owns one contiguous chunk of indices,
+/// and every result lands in its item's slot, so the output is independent
+/// of scheduling and thread count.
+fn run_ordered<'a, T, R, F>(items: &'a [T], threads: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    thread::scope(|scope| {
+        for (worker, out_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let start = worker * chunk;
+            let in_chunk = &items[start..(start + out_chunk.len())];
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot written by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let xs: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        for n in [1, 2, 7, 32] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let got: Vec<u64> = pool.install(|| xs.par_iter().map(|x| x * x).collect());
+            assert_eq!(got, expected, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -75,6 +75,7 @@ use prevv_analyze::{
     CircuitOptions, ControllerModel, PerfOptions, PerfSummary, ProtocolOptions, Severity,
 };
 use prevv_core::PrevvConfig;
+use prevv_dataflow::sweep;
 
 enum Format {
     Text,
@@ -90,6 +91,7 @@ struct Args {
     perf: Option<PerfOptions>,
     fix: bool,
     deny_warnings: bool,
+    jobs: usize,
 }
 
 fn usage() -> ! {
@@ -98,7 +100,7 @@ fn usage() -> ! {
          [--no-pair-reduction] [--circuit] [--controller none|direct|prevv] \
          [--protocol] [--mc-depth N] [--mc-states N[k|m]] [--mc-threads N] \
          [--mc-audit] [--mc-no-por] [--no-forwarding] [--perf] [--fix] \
-         [--deny-warnings] <file.pvk>...\n       prevv-lint --explain PVxxx"
+         [--deny-warnings] [--jobs N] <file.pvk>...\n       prevv-lint --explain PVxxx"
     );
     std::process::exit(2);
 }
@@ -151,6 +153,7 @@ fn parse_args() -> Args {
     let mut want_perf = false;
     let mut fix = false;
     let mut deny_warnings = false;
+    let mut jobs = 0usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -214,6 +217,12 @@ fn parse_args() -> Args {
             "--perf" => want_perf = true,
             "--fix" => fix = true,
             "--deny-warnings" => deny_warnings = true,
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') => files.push(f.to_string()),
             _ => usage(),
@@ -261,6 +270,7 @@ fn parse_args() -> Args {
         perf,
         fix,
         deny_warnings,
+        jobs,
     }
 }
 
@@ -414,19 +424,45 @@ fn main() {
     let mut fix_failures = 0usize;
     let mut protocol_summary: Option<ProtocolSummary> = None;
     let mut perf_summary: Option<PerfSummary> = None;
-    for path in &args.files {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(2);
-            }
-        };
-        let name = std::path::Path::new(path)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or("kernel");
-        let (mut report, summary) = lint_once(name, &source, &args);
+    let sources: Vec<(String, String)> = args
+        .files
+        .iter()
+        .map(|path| {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("kernel")
+                .to_string();
+            (name, source)
+        })
+        .collect();
+    // The parse/kernel/circuit/perf passes are independent per file: shard
+    // them across `--jobs` workers (0 = all cores). Results come back in
+    // file order, so the rendered output is byte-identical at any job
+    // count. Fixing, the protocol checker (which shards internally via
+    // `--mc-threads`), and printing stay sequential below.
+    let linted: Vec<(Report, Option<PerfSummary>)> = if args.jobs == 1 {
+        sources
+            .iter()
+            .map(|(name, source)| lint_once(name, source, &args))
+            .collect()
+    } else if args.jobs == 0 {
+        sweep::run(&sources, |(name, source)| lint_once(name, source, &args))
+    } else {
+        sweep::run_with_threads(&sources, args.jobs, |(name, source)| {
+            lint_once(name, source, &args)
+        })
+    };
+    for ((path, (name, source)), (mut report, summary)) in
+        args.files.iter().zip(&sources).zip(linted)
+    {
         // summary.perf keeps the worst verdict across the run.
         if let Some(s) = summary {
             let worse = perf_summary
@@ -436,7 +472,7 @@ fn main() {
                 perf_summary = Some(s);
             }
         }
-        if args.fix && !fix_file(path, name, &source, &report, &args) {
+        if args.fix && !fix_file(path, name, source, &report, &args) {
             fix_failures += 1;
         }
         if let Some(protocol) = &args.protocol {
@@ -444,7 +480,7 @@ fn main() {
             // report means there is nothing to check. `check_protocol` is
             // called directly (rather than via `protocol_report`) so the
             // exploration statistics reach the JSON summary.
-            if let Ok(spec) = prevv_ir::parse::parse_kernel(name, &source) {
+            if let Ok(spec) = prevv_ir::parse::parse_kernel(name, source) {
                 match check_protocol(&spec, protocol) {
                     Ok(result) => {
                         protocol_summary
@@ -466,14 +502,14 @@ fn main() {
                 if report.is_empty() {
                     println!("{path}: clean");
                 } else {
-                    print!("{}", report.render(path, Some(&source)));
+                    print!("{}", report.render(path, Some(source)));
                 }
             }
             Format::Json => {
                 json_files.push(format!(
                     "{{\"file\":{},\"report\":{}}}",
                     prevv_analyze::diag::json_string(path),
-                    report.to_json(Some(&source))
+                    report.to_json(Some(source))
                 ));
             }
         }

@@ -1,0 +1,166 @@
+//! Engine-scheduler throughput: simulated cycles per wall-clock second for
+//! the dense reference sweep versus the event-driven dirty-set fixpoint, on
+//! the paper's fig2a kernel under the default PreVV controller. The final
+//! `BENCH_SIM_JSON` line is machine-readable; `scripts/verify.sh` runs this
+//! bench, records the best-of-5 figures into `BENCH_sim.json`, and fails the
+//! build if the event-driven default ever drops below dense throughput on
+//! the latency-bound workload.
+//!
+//! Two regimes of the same kernel are measured:
+//!
+//! * **bram** — on-chip memory timing (3-cycle reads) and an aliasing-heavy
+//!   index vector: nearly every cycle some channel fires, so the dirty set
+//!   stays large and event-driven scheduling buys little (it may even trail
+//!   the dense sweep slightly — the honest worst case).
+//! * **dram** — external-memory timing (200-cycle reads) and a fully
+//!   serializing index vector (`b[i] = 0` with forwarding off): the RAW
+//!   chain keeps the circuit quiescent most cycles, which is exactly the
+//!   regime an event-driven scheduler exploits. The dense sweep re-evaluates
+//!   every stalled component every fixpoint iteration regardless.
+//!
+//! Only `Simulator::run` is timed — synthesis and controller construction
+//! are one-time setup, not per-cycle scheduler work.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prevv::kernels::extra;
+use prevv::{
+    run_kernel_with, Controller, KernelSpec, MemTiming, PrevvConfig, PrevvMemory, Scheduler,
+    SimConfig, Simulator, SynthOptions,
+};
+
+const N: i64 = 256;
+
+/// On-chip timing, aliasing-heavy indices: the busy regime.
+fn bram_workload() -> (KernelSpec, PrevvConfig) {
+    let b: Vec<i64> = (0..N).map(|i| (i * 7 + 3) % 16).collect();
+    let mut config = PrevvConfig::with_depth(16);
+    config.timing = MemTiming {
+        read_latency: 3,
+        write_latency: 2,
+        read_ports: 1,
+        write_ports: 1,
+    };
+    (extra::fig2a(N, b), config)
+}
+
+/// External-memory timing, fully serializing indices: the latency-bound
+/// regime (every `a[b[i]] += 5` hits the same address, so with forwarding
+/// off each load waits for the previous iteration's store to commit).
+fn dram_workload() -> (KernelSpec, PrevvConfig) {
+    let b: Vec<i64> = vec![0; N as usize];
+    let mut config = PrevvConfig::with_depth(16);
+    config.forwarding = false;
+    config.timing = MemTiming {
+        read_latency: 200,
+        write_latency: 100,
+        read_ports: 1,
+        write_ports: 1,
+    };
+    (extra::fig2a(N, b), config)
+}
+
+/// One engine run under `scheduler`, timing `Simulator::run` only.
+/// Returns (simulated cycles, seconds).
+fn run_once(spec: &KernelSpec, config: &PrevvConfig, scheduler: Scheduler) -> (u64, f64) {
+    let mut synth = prevv::ir::synthesize(spec).expect("fig2a synthesizes");
+    let (ctrl, _ram, _stats) =
+        PrevvMemory::new(synth.interface.clone(), config.clone(), synth.bus.clone())
+            .expect("valid config");
+    synth.netlist.add("prevv", ctrl);
+    let mut sim = Simulator::new(synth.netlist, synth.bus)
+        .expect("valid netlist")
+        .with_config(SimConfig {
+            scheduler,
+            ..SimConfig::default()
+        });
+    let start = Instant::now();
+    let report = sim.run().expect("fig2a completes");
+    let secs = start.elapsed().as_secs_f64();
+    (report.cycles, secs)
+}
+
+/// Best-of-5 cycles/second — best-of suppresses scheduler noise on a
+/// shared box, mirroring the modelcheck bench.
+fn best_cycles_per_sec(
+    spec: &KernelSpec,
+    config: &PrevvConfig,
+    scheduler: Scheduler,
+) -> (u64, f64) {
+    let mut best = 0.0f64;
+    let mut cycles = 0;
+    for _ in 0..5 {
+        let (c, secs) = run_once(spec, config, scheduler);
+        cycles = c;
+        best = best.max(c as f64 / secs);
+    }
+    (cycles, best)
+}
+
+/// Full end-to-end correctness check of one workload under both schedulers
+/// (untimed): identical cycle counts and golden memory images.
+fn check_workload(spec: &KernelSpec, config: &PrevvConfig) -> u64 {
+    let mut cycles = None;
+    for scheduler in [Scheduler::Dense, Scheduler::EventDriven] {
+        let sim = SimConfig {
+            scheduler,
+            ..SimConfig::default()
+        };
+        let result = run_kernel_with(
+            spec,
+            Controller::Prevv(config.clone()),
+            &SynthOptions::default(),
+            &sim,
+        )
+        .expect("fig2a completes");
+        assert!(result.matches_golden, "bench run must stay correct");
+        let prev = cycles.replace(result.report.cycles);
+        if let Some(p) = prev {
+            assert_eq!(p, result.report.cycles, "schedulers must agree");
+        }
+    }
+    cycles.expect("both schedulers ran")
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (spec, config) = dram_workload();
+    let mut g = c.benchmark_group("sim_cycles_per_sec");
+    g.bench_function("dense", |b| {
+        b.iter(|| run_once(&spec, &config, Scheduler::Dense));
+    });
+    g.bench_function("event", |b| {
+        b.iter(|| run_once(&spec, &config, Scheduler::EventDriven));
+    });
+    g.finish();
+}
+
+/// Emits the machine-readable summary line `scripts/verify.sh` consumes.
+fn emit_summary(_c: &mut Criterion) {
+    let (bram_spec, bram_config) = bram_workload();
+    let (dram_spec, dram_config) = dram_workload();
+    let bram_cycles = check_workload(&bram_spec, &bram_config);
+    let dram_cycles = check_workload(&dram_spec, &dram_config);
+
+    let (c, bram_dense) = best_cycles_per_sec(&bram_spec, &bram_config, Scheduler::Dense);
+    assert_eq!(c, bram_cycles);
+    let (c, bram_event) = best_cycles_per_sec(&bram_spec, &bram_config, Scheduler::EventDriven);
+    assert_eq!(c, bram_cycles);
+    let (c, dram_dense) = best_cycles_per_sec(&dram_spec, &dram_config, Scheduler::Dense);
+    assert_eq!(c, dram_cycles);
+    let (c, dram_event) = best_cycles_per_sec(&dram_spec, &dram_config, Scheduler::EventDriven);
+    assert_eq!(c, dram_cycles);
+
+    let speedup = dram_event / dram_dense;
+    println!(
+        "BENCH_SIM_JSON {{\"workload\": \"fig2a n=256 prevv16, engine-only, best of 5\", \
+         \"bram_cycles\": {bram_cycles}, \"bram_dense_cps\": {bram_dense:.0}, \
+         \"bram_event_cps\": {bram_event:.0}, \
+         \"dram_cycles\": {dram_cycles}, \"dram_dense_cps\": {dram_dense:.0}, \
+         \"dram_event_cps\": {dram_event:.0}, \"event_speedup\": {speedup:.2}}}"
+    );
+}
+
+criterion_group!(schedulers, bench_schedulers);
+criterion_group!(summary, emit_summary);
+criterion_main!(schedulers, summary);

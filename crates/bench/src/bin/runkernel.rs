@@ -13,8 +13,9 @@
 //! `prevv16`, `prevv64`, `prevv32`).
 
 use prevv::dataflow::trace::{to_vcd, TraceRecorder};
-use prevv::dataflow::{viz, SimConfig, Simulator};
+use prevv::dataflow::{sweep, viz, Scheduler, SimConfig, Simulator};
 use prevv::{Controller, Lsq, LsqConfig, MemTiming, PrevvConfig, PrevvMemory};
+use rand::{Rng, SeedableRng};
 
 struct Args {
     path: String,
@@ -24,18 +25,29 @@ struct Args {
     stats: bool,
     dot: Option<String>,
     vcd: Option<String>,
+    scheduler: Scheduler,
+    sweep: bool,
+    depths: Vec<usize>,
+    seeds: u64,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: runkernel <file.pvk> [--controller direct|dynamatic16|fast16|prevv<depth>] \
-         [--protocol] [--mc-threads <n>] [--stats] [--dot <out.dot>] [--vcd <out.vcd>]"
+         [--protocol] [--mc-threads <n>] [--stats] [--dot <out.dot>] [--vcd <out.vcd>] \
+         [--scheduler dense|event] \
+         [--sweep [--depths <d,d,...>] [--seeds <n>] [--threads <n>]]"
     );
     std::process::exit(2);
 }
 
 /// The `--stats` table length: most-stalled channels worth printing.
 const TOP_STALLED: usize = 8;
+
+/// Default `--sweep` depth axis: the paper's two evaluated depths plus the
+/// surrounding powers of two.
+const SWEEP_DEPTHS: [usize; 4] = [8, 16, 32, 64];
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
@@ -46,10 +58,16 @@ fn parse_args() -> Args {
     let mut stats = false;
     let mut dot = None;
     let mut vcd = None;
+    let mut scheduler = Scheduler::default();
+    let mut sweep = false;
+    let mut depths = SWEEP_DEPTHS.to_vec();
+    let mut seeds = 1u64;
+    let mut threads = 0usize;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--protocol" => protocol = true,
             "--stats" => stats = true,
+            "--sweep" => sweep = true,
             "--mc-threads" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 mc_threads = v.parse().unwrap_or_else(|_| usage());
@@ -67,6 +85,40 @@ fn parse_args() -> Args {
                     },
                 };
             }
+            "--scheduler" => {
+                scheduler = match args.next().unwrap_or_else(|| usage()).as_str() {
+                    "dense" => Scheduler::Dense,
+                    "event" => Scheduler::EventDriven,
+                    _ => usage(),
+                };
+            }
+            "--depths" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                depths = v
+                    .split(',')
+                    .map(|d| d.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if depths.is_empty() {
+                    usage();
+                }
+            }
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if seeds == 0 {
+                    usage();
+                }
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
             "--dot" => dot = Some(args.next().unwrap_or_else(|| usage())),
             "--vcd" => vcd = Some(args.next().unwrap_or_else(|| usage())),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
@@ -81,7 +133,104 @@ fn parse_args() -> Args {
         stats,
         dot,
         vcd,
+        scheduler,
+        sweep,
+        depths,
+        seeds,
+        threads,
     }
+}
+
+/// Deterministic RAM-timing perturbation for the `--sweep` seed axis: seed 0
+/// is the stock timing, every other seed draws latencies/bandwidth from a
+/// splitmix stream keyed only on the seed — the same seed always yields the
+/// same timing, so sweep output is reproducible anywhere.
+fn seeded_timing(seed: u64) -> MemTiming {
+    if seed == 0 {
+        return MemTiming::default();
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    MemTiming {
+        read_latency: rng.gen_range(1..=4u32),
+        write_latency: rng.gen_range(1..=3u32),
+        read_ports: rng.gen_range(1..=2u32),
+        write_ports: 1,
+    }
+}
+
+/// One grid point of a `--sweep` run, in deterministic axis-major order.
+struct SweepJob {
+    depth: usize,
+    seed: u64,
+}
+
+/// Batched multi-config driver: a PreVV depth × RAM-timing-seed grid over
+/// one kernel, sharded across worker threads. Each worker synthesizes,
+/// simulates, and verifies its own circuit (netlists are thread-local by
+/// construction); the result table is in grid order and byte-identical at
+/// any `--threads` value.
+fn run_sweep(spec: &prevv::KernelSpec, args: &Args) -> ! {
+    let jobs: Vec<SweepJob> = args
+        .depths
+        .iter()
+        .flat_map(|&depth| (0..args.seeds).map(move |seed| SweepJob { depth, seed }))
+        .collect();
+    let sim_config = SimConfig {
+        scheduler: args.scheduler,
+        ..SimConfig::default()
+    };
+    let worker = |job: &SweepJob| -> Result<prevv::RunResult, prevv::RunError> {
+        let mut cfg = PrevvConfig::with_depth(job.depth);
+        cfg.timing = seeded_timing(job.seed);
+        prevv::run_kernel_with(
+            spec,
+            Controller::Prevv(cfg),
+            &prevv::SynthOptions::default(),
+            &sim_config,
+        )
+    };
+    let results = if args.threads == 0 {
+        sweep::run(&jobs, worker)
+    } else {
+        sweep::run_with_threads(&jobs, args.threads, worker)
+    };
+
+    println!(
+        "sweep: {} point(s) ({} depth(s) x {} seed(s))",
+        jobs.len(),
+        args.depths.len(),
+        args.seeds
+    );
+    println!("depth seed cycles transfers stalls squashes golden");
+    let mut failures = 0usize;
+    for (job, res) in jobs.iter().zip(&results) {
+        match res {
+            Ok(r) => {
+                if !r.matches_golden {
+                    failures += 1;
+                }
+                println!(
+                    "{:>5} {:>4} {:>8} {:>9} {:>8} {:>8} {}",
+                    job.depth,
+                    job.seed,
+                    r.report.cycles,
+                    r.report.transfers,
+                    r.report.stall_cycles,
+                    r.report.squashes,
+                    r.matches_golden
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{:>5} {:>4} error: {e}", job.depth, job.seed);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("sweep: {failures} point(s) failed");
+        std::process::exit(3);
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -121,6 +270,12 @@ fn main() {
     if lint.has_errors() {
         eprintln!("refusing to synthesize: static analysis reported errors");
         std::process::exit(1);
+    }
+
+    // Batched mode: grid over PreVV depths and RAM-timing seeds, sharded
+    // across cores; prints the result table and exits.
+    if args.sweep {
+        run_sweep(&spec, &args);
     }
 
     // PV2xx bounded model checking of the abstract premature-queue /
@@ -317,7 +472,10 @@ fn main() {
     };
 
     let mut sim = match Simulator::new(synth.netlist, synth.bus) {
-        Ok(s) => s.with_config(SimConfig::default()),
+        Ok(s) => s.with_config(SimConfig {
+            scheduler: args.scheduler,
+            ..SimConfig::default()
+        }),
         Err(e) => {
             eprintln!("invalid netlist: {e}");
             std::process::exit(1);

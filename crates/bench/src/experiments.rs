@@ -189,6 +189,7 @@ pub fn deadlock_demo() -> Result<DeadlockDemo, RunError> {
         &SimConfig {
             max_cycles: 500_000,
             watchdog: 2_000,
+            ..SimConfig::default()
         },
     )?;
     let no_fakes = SynthOptions {
@@ -202,6 +203,7 @@ pub fn deadlock_demo() -> Result<DeadlockDemo, RunError> {
         &SimConfig {
             max_cycles: 500_000,
             watchdog: 2_000,
+            ..SimConfig::default()
         },
     ) {
         Err(e) => e,

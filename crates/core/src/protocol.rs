@@ -183,6 +183,14 @@ impl ProtocolState {
         }
     }
 
+    /// True when an uncommitted store slot is already below the frontier —
+    /// [`commit_step`](ProtocolState::commit_step) has work to do, though it
+    /// may still be blocked on write bandwidth. Controllers use this to
+    /// decide whether a quiet cycle can skip the commit/retire pipeline.
+    pub fn commit_pending(&self, stores_per_iter: usize) -> bool {
+        stores_per_iter != 0 && self.next_commit / (stores_per_iter as u64) < self.frontier
+    }
+
     /// Iteration of the first uncommitted store slot (`u64::MAX` for
     /// store-free kernels).
     pub fn commit_iter(&self, stores_per_iter: usize) -> u64 {

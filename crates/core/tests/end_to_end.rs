@@ -33,6 +33,7 @@ fn run_prevv_with(
     let mut sim = Simulator::new(s.netlist, s.bus)?.with_config(SimConfig {
         max_cycles: 2_000_000,
         watchdog: 2_000,
+        ..SimConfig::default()
     });
     let report = sim.run()?;
     let ram = ram.borrow();

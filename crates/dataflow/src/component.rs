@@ -47,7 +47,46 @@ pub trait Component {
     fn eval(&self, sig: &mut Signals);
 
     /// Sequential update after the wire fixpoint.
-    fn commit(&mut self, sig: &Signals);
+    ///
+    /// Returns `true` when the update changed internal state that future
+    /// [`eval`](Component::eval) outputs, [`is_idle`](Component::is_idle) or
+    /// [`occupancy`](Component::occupancy) depend on. The engine uses this
+    /// both to seed the event-driven scheduler's dirty set for the next cycle
+    /// and as a progress signal for the no-progress watchdog, so the flag
+    /// must be honest: pure bookkeeping (cycle counters, statistics
+    /// publication) must *not* report a change, while any internal token
+    /// motion — even one with no channel transfer this cycle, such as a
+    /// pipeline stage shifting — must.
+    fn commit(&mut self, sig: &Signals) -> bool;
+
+    /// Queried immediately after a [`commit`](Component::commit) that
+    /// returned `true`: did that commit change state that
+    /// [`eval`](Component::eval) *reads*? Internal motion that is invisible
+    /// to `eval` — a RAM delay line counting down, a reorder buffer waiting
+    /// on an in-flight completion — is honest progress for the watchdog but
+    /// cannot alter any wire, so the event-driven scheduler need not re-seed
+    /// the component's evaluation. Defaults to `true` (every change is
+    /// assumed eval-visible), which is always sound; override only when the
+    /// commit body tracks the distinction exactly.
+    fn eval_invalidated(&self) -> bool {
+        true
+    }
+
+    /// True when this component's [`commit`](Component::commit) is a
+    /// provable no-op — returns `false` and mutates nothing, not even
+    /// external bookkeeping — in any cycle where (a) its previous commit
+    /// returned `false` and (b) none of its own channels fired. The engine
+    /// skips the virtual commit call for such settled components, which is
+    /// most of a stalled circuit most cycles.
+    ///
+    /// Defaults to `false` (commit every cycle, always sound). Opt in only
+    /// after auditing the commit body: every state mutation must be guarded
+    /// by [`Signals::fired`]/[`Signals::taken`] on own ports, or continue a
+    /// chain of changed commits (e.g. a pipeline shifting bubbles reports
+    /// `true` each cycle until it settles).
+    fn fire_driven_commit(&self) -> bool {
+        false
+    }
 
     /// Drops all internally held tokens of iterations `>= from_iter`.
     ///
@@ -120,7 +159,9 @@ mod tests {
             }
             sig.accept_if(self.input, sig.is_ready(self.output));
         }
-        fn commit(&mut self, _sig: &Signals) {}
+        fn commit(&mut self, _sig: &Signals) -> bool {
+            false
+        }
     }
 
     #[test]

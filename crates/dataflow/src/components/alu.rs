@@ -201,7 +201,11 @@ impl Pipeline {
         self.stages[0].is_none() || self.will_shift(head_drains)
     }
 
-    fn advance(&mut self, head_drained: bool, entering: Option<Token>) {
+    /// Returns `true` when any stage content actually changed — a shift of an
+    /// all-empty register is a no-op and must not count, or an idle ALU would
+    /// look permanently busy to the event scheduler and watchdog.
+    fn advance(&mut self, head_drained: bool, entering: Option<Token>) -> bool {
+        let before = self.stages.clone();
         if self.will_shift(head_drained) {
             for i in (1..self.stages.len()).rev() {
                 self.stages[i] = self.stages[i - 1];
@@ -214,6 +218,7 @@ impl Pipeline {
             debug_assert!(self.stages[0].is_none(), "entry slot must be free");
             self.stages[0] = Some(t);
         }
+        self.stages != before
     }
 
     fn flush(&mut self, from_iter: u64) {
@@ -297,7 +302,11 @@ impl Component for BinaryAlu {
         }
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, sig: &Signals) -> bool {
         let head_drained = sig.fired(self.output);
         let entering = match (sig.taken(self.lhs), sig.taken(self.rhs)) {
             (Some(a), Some(b)) => {
@@ -310,7 +319,7 @@ impl Component for BinaryAlu {
             (None, None) => None,
             _ => unreachable!("alu accepts operands jointly"),
         };
-        self.pipe.advance(head_drained, entering);
+        self.pipe.advance(head_drained, entering)
     }
 
     fn flush(&mut self, from_iter: u64) {
@@ -383,12 +392,16 @@ impl Component for UnaryAlu {
         }
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, sig: &Signals) -> bool {
         let head_drained = sig.fired(self.output);
         let entering = sig
             .taken(self.input)
             .map(|t| t.with_value(self.op.apply(t.value)));
-        self.pipe.advance(head_drained, entering);
+        self.pipe.advance(head_drained, entering)
     }
 
     fn flush(&mut self, from_iter: u64) {

@@ -44,7 +44,13 @@ impl Component for Constant {
         sig.accept_if(self.trigger, sig.is_ready(self.output));
     }
 
-    fn commit(&mut self, _sig: &Signals) {}
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, _sig: &Signals) -> bool {
+        false
+    }
 }
 
 /// Consumes and discards tokens on any number of channels; optionally
@@ -93,7 +99,11 @@ impl Component for Sink {
         }
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, sig: &Signals) -> bool {
         if let Some(store) = &self.collected {
             for &ch in &self.inputs {
                 if let Some(t) = sig.taken(ch) {
@@ -101,6 +111,8 @@ impl Component for Sink {
                 }
             }
         }
+        // Collection is external bookkeeping, not eval-visible state.
+        false
     }
 }
 
@@ -160,21 +172,29 @@ impl Component for Fork {
         sig.accept_if(self.input, all_done);
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, sig: &Signals) -> bool {
         if sig.fired(self.input) {
             // All copies delivered this cycle; state resets for the next token.
+            let changed = self.sent.iter().any(|&s| s) || self.in_flight_iter.is_some();
             self.sent.iter_mut().for_each(|s| *s = false);
             self.in_flight_iter = None;
-            return;
+            return changed;
         }
+        let mut changed = false;
         for (k, &out) in self.outputs.iter().enumerate() {
             if !self.sent[k] {
                 if let Some(t) = sig.taken(out) {
                     self.sent[k] = true;
                     self.in_flight_iter = Some(t.tag.iter);
+                    changed = true;
                 }
             }
         }
+        changed
     }
 
     fn flush(&mut self, from_iter: u64) {
@@ -232,7 +252,13 @@ impl Component for Join {
         }
     }
 
-    fn commit(&mut self, _sig: &Signals) {}
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, _sig: &Signals) -> bool {
+        false
+    }
 }
 
 /// Priority merge: forwards a token from the lowest-indexed valid input.
@@ -274,7 +300,13 @@ impl Component for Merge {
         sig.accept_if(chosen, sig.is_ready(self.output));
     }
 
-    fn commit(&mut self, _sig: &Signals) {}
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, _sig: &Signals) -> bool {
+        false
+    }
 }
 
 /// Mux: a select token (0 or nonzero) steers which of two data inputs is
@@ -335,7 +367,13 @@ impl Component for Mux {
         }
     }
 
-    fn commit(&mut self, _sig: &Signals) {}
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, _sig: &Signals) -> bool {
+        false
+    }
 }
 
 /// Branch: a condition token steers the data token to the true or false
@@ -393,7 +431,13 @@ impl Component for Branch {
         }
     }
 
-    fn commit(&mut self, _sig: &Signals) {}
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, _sig: &Signals) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -68,14 +68,22 @@ impl Component for Buffer {
         sig.accept_if(self.input, self.fifo.len() < self.capacity);
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, sig: &Signals) -> bool {
+        let mut changed = false;
         if sig.fired(self.output) {
             self.fifo.pop_front();
+            changed = true;
         }
         if let Some(t) = sig.taken(self.input) {
             debug_assert!(self.fifo.len() < self.capacity);
             self.fifo.push_back(t);
+            changed = true;
         }
+        changed
     }
 
     fn flush(&mut self, from_iter: u64) {

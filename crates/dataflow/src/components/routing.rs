@@ -76,11 +76,16 @@ impl Component for ControlMerge {
         sig.accept_if(self.inputs[k], data_done && index_done);
     }
 
-    fn commit(&mut self, sig: &Signals) {
-        let Some(k) = self.choose(sig) else { return };
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, sig: &Signals) -> bool {
+        let Some(k) = self.choose(sig) else {
+            return false;
+        };
         if sig.fired(self.inputs[k]) {
-            self.in_flight = None;
-            return;
+            return self.in_flight.take().is_some();
         }
         let (mut d, mut i) = match self.in_flight {
             Some((_, d, i)) => (d, i),
@@ -89,7 +94,12 @@ impl Component for ControlMerge {
         d |= sig.fired(self.output);
         i |= sig.fired(self.index_out);
         if d || i {
-            self.in_flight = Some((k, d, i));
+            let next = Some((k, d, i));
+            let changed = self.in_flight != next;
+            self.in_flight = next;
+            changed
+        } else {
+            false
         }
     }
 
@@ -153,7 +163,13 @@ impl Component for Demux {
         }
     }
 
-    fn commit(&mut self, _sig: &Signals) {}
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, _sig: &Signals) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

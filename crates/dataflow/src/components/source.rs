@@ -101,21 +101,29 @@ impl Component for IterSource {
         }
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn fire_driven_commit(&self) -> bool {
+        true
+    }
+
+    fn commit(&mut self, sig: &Signals) -> bool {
         if self.exhausted() {
-            return;
+            return false;
         }
         let mut all = true;
+        let mut changed = false;
         for (k, &out) in self.outputs.iter().enumerate() {
             if !self.sent[k] && sig.fired(out) {
                 self.sent[k] = true;
+                changed = true;
             }
             all &= self.sent[k];
         }
         if all {
             self.pos += 1;
             self.sent.iter_mut().for_each(|s| *s = false);
+            changed = true;
         }
+        changed
     }
 
     fn flush(&mut self, from_iter: u64) {

@@ -2,40 +2,82 @@
 //!
 //! Each clock cycle proceeds in three phases:
 //!
-//! 1. **Wire fixpoint** — all components' [`eval`](crate::Component::eval)
-//!    functions run repeatedly until no `valid`/`ready`/data wire changes.
-//!    `valid` and `ready` are monotone within a cycle, so the fixpoint exists
-//!    and the iteration count is bounded; exceeding the bound means a
-//!    combinational cycle (a feedback path without an elastic buffer) and is
-//!    reported as [`SimError::CombinationalCycle`].
+//! 1. **Wire fixpoint** — components' [`eval`](crate::Component::eval)
+//!    functions run until no `valid`/`ready`/data wire changes. `valid` and
+//!    `ready` are monotone within a cycle, so the fixpoint exists and the
+//!    iteration count is bounded; exceeding the bound means a combinational
+//!    cycle (a feedback path without an elastic buffer) and is reported as
+//!    [`SimError::CombinationalCycle`], naming the channels that were still
+//!    churning. Two interchangeable schedulers compute the fixpoint (see
+//!    [`Scheduler`]); they produce bit-identical wire states.
 //! 2. **Commit** — every component's [`commit`](crate::Component::commit)
-//!    observes which channels fired and updates its registers.
+//!    observes which channels fired and updates its registers, reporting
+//!    whether any eval-visible state changed. The changed set seeds the next
+//!    cycle's event-driven dirty set and feeds the no-progress watchdog.
 //! 3. **Squash application** — if a disambiguation controller posted a squash
 //!    on the [`SquashBus`], the engine bumps the epoch, calls
 //!    [`flush`](crate::Component::flush) on every component (dropping all
 //!    tokens of the squashed iterations), and lets the iteration source
 //!    rewind. This models the broadcast pipeline flush of the paper's mux +
-//!    squash signal.
+//!    squash signal. The cycle after a flush always runs the dense sweep:
+//!    a flush rewrites state (including the bus epoch some evals read)
+//!    behind the dirty-set bookkeeping's back.
+//!
+//! ## Why partial re-evaluation is sound
+//!
+//! A component's `eval` is a pure function of its sequential state and the
+//! wires it reads (its inputs' `valid`/data, its outputs' `ready`). The
+//! event scheduler keeps the previous cycle's fixpoint wires and re-runs
+//! only components whose state changed at commit, clearing and re-deriving
+//! exactly the wires each re-run component owns (its outputs' `valid`/data,
+//! its inputs' `ready`). Any wire it changes wakes the one neighbor that
+//! reads that wire, so by induction every wire not re-derived is the value
+//! its owner would re-derive — the worklist converges to the same unique
+//! fixpoint the dense sweep computes from reset.
 //!
 //! The run ends when every component is idle (quiescence), when the cycle
 //! budget is exhausted, or when the no-progress watchdog declares deadlock —
 //! the condition the paper's fake tokens exist to prevent (§V-C).
 
+use std::collections::VecDeque;
+
+use crate::component::Ports;
 use crate::error::SimError;
 use crate::netlist::Netlist;
 use crate::signal::Signals;
 use crate::squash::SquashBus;
 use crate::stats::SimReport;
+use crate::token::Token;
 use crate::trace::TraceRecorder;
+
+/// Which algorithm computes the per-cycle wire fixpoint.
+///
+/// Both schedulers reach the same fixpoint on every well-formed (buffered)
+/// netlist, so they produce identical [`SimReport`]s; the event-driven one
+/// skips re-evaluating the (typically large) stalled part of the circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Reset every wire and sweep every component until convergence — the
+    /// reference algorithm, O(components) per sweep.
+    Dense,
+    /// Dirty-set worklist seeded by the components whose previous commit
+    /// changed state, propagating wake-ups along the channel graph; wires
+    /// warm-start from the previous cycle's fixpoint.
+    #[default]
+    EventDriven,
+}
 
 /// Tuning knobs for a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Hard upper bound on simulated cycles.
     pub max_cycles: u64,
-    /// Declare deadlock after this many consecutive cycles with no channel
-    /// transfer while tokens are still in flight.
+    /// Declare deadlock after this many consecutive cycles in which no
+    /// channel transferred, no component changed internal state, and no
+    /// squash flushed — while tokens are still in flight.
     pub watchdog: u64,
+    /// Fixpoint scheduler; [`Scheduler::EventDriven`] unless overridden.
+    pub scheduler: Scheduler,
 }
 
 impl Default for SimConfig {
@@ -43,6 +85,7 @@ impl Default for SimConfig {
         SimConfig {
             max_cycles: 2_000_000,
             watchdog: 1_000,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -59,6 +102,44 @@ pub struct Simulator {
     idle_streak: u64,
     recorder: Option<TraceRecorder>,
     channel_stalls: Vec<u64>,
+    /// Static per-node port lists (`Component::ports` allocates; cache once).
+    ports: Vec<Ports>,
+    /// `producer_of[ch]` / `consumer_of[ch]`: the unique endpoints of every
+    /// channel, as raw node indices — the wake-up adjacency.
+    producer_of: Vec<usize>,
+    consumer_of: Vec<usize>,
+    /// `restless[node]`: did the node's last commit change internal state at
+    /// all? Keeps the node in the next commit set (a settling pipeline
+    /// shifts for several cycles after its last handshake) and feeds the
+    /// no-progress watchdog.
+    restless: Vec<bool>,
+    /// `eval_seed[node]`: did the node's last commit change state its `eval`
+    /// *reads* ([`Component::eval_invalidated`])? Strictly a subset of
+    /// `restless` — invisible internal motion (a RAM delay line ticking)
+    /// keeps a node restless without forcing a re-evaluation. Kept as a
+    /// list (ascending, at most one entry per node) rather than a bitmap so
+    /// seeding the worklist costs O(|seeds|), not O(nodes), per cycle.
+    seed_list: Vec<usize>,
+    /// Nodes whose [`Component::fire_driven_commit`] audit allows skipping
+    /// commit when settled; the complement is committed every cycle.
+    fire_driven: Vec<bool>,
+    /// Scratch marks for the per-cycle commit set.
+    commit_mark: Vec<bool>,
+    /// Cached `is_idle` per node plus the count of non-idle nodes: a node's
+    /// idleness only changes when its commit reports a state change (eval
+    /// never mutates) or on a flush, so quiescence is O(1) per cycle.
+    idle_cache: Vec<bool>,
+    active: usize,
+    /// Worklist state for the event-driven fixpoint.
+    queue: VecDeque<usize>,
+    queued: Vec<bool>,
+    /// Run the dense sweep next cycle (first cycle, and after every flush).
+    dense_next: bool,
+    /// Scratch buffers for per-node wire snapshots.
+    snap_out: Vec<(bool, Option<Token>)>,
+    snap_in: Vec<bool>,
+    /// Scratch list of the channels that fired this cycle.
+    fired_scratch: Vec<usize>,
 }
 
 impl Simulator {
@@ -76,6 +157,24 @@ impl Simulator {
         netlist.validate()?;
         let signals = Signals::new(netlist.channel_count());
         let channel_stalls = vec![0; netlist.channel_count()];
+        let ports: Vec<Ports> = netlist.components().iter().map(|c| c.ports()).collect();
+        let (producer_of, consumer_of) = netlist
+            .unique_endpoints()
+            .map(|(p, c)| {
+                (
+                    p.into_iter().map(|n| n.index()).collect(),
+                    c.into_iter().map(|n| n.index()).collect(),
+                )
+            })
+            .expect("validated netlist has unique endpoints");
+        let nodes = netlist.node_count();
+        let fire_driven: Vec<bool> = netlist
+            .components()
+            .iter()
+            .map(|c| c.fire_driven_commit())
+            .collect();
+        let idle_cache: Vec<bool> = netlist.components().iter().map(|c| c.is_idle()).collect();
+        let active = idle_cache.iter().filter(|&&i| !i).count();
         Ok(Simulator {
             netlist,
             signals,
@@ -87,6 +186,21 @@ impl Simulator {
             idle_streak: 0,
             recorder: None,
             channel_stalls,
+            ports,
+            producer_of,
+            consumer_of,
+            restless: vec![true; nodes],
+            seed_list: (0..nodes).collect(),
+            fire_driven,
+            commit_mark: vec![false; nodes],
+            idle_cache,
+            active,
+            queue: VecDeque::new(),
+            queued: vec![false; nodes],
+            dense_next: true,
+            snap_out: Vec::new(),
+            snap_in: Vec::new(),
+            fired_scratch: Vec::new(),
         })
     }
 
@@ -124,60 +238,256 @@ impl Simulator {
 
     /// Executes one clock cycle.
     ///
+    /// The wire fixpoint runs under the configured [`Scheduler`]; stall and
+    /// transfer statistics are sampled *at the fixpoint, before commit*, by
+    /// the same code path in both modes, so the two schedulers' reports are
+    /// byte-identical.
+    ///
     /// # Errors
     ///
     /// [`SimError::CombinationalCycle`] if the wire fixpoint diverges.
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.signals.reset();
-        // Monotone fixpoint: each sweep can only raise valid/ready wires, so
-        // the sweep count is bounded by the number of wires plus slack for
-        // data rewrites by arbitrating components.
-        let budget = 2 * self.signals.len() + self.netlist.node_count() + 8;
-        let mut converged = false;
-        for _ in 0..budget {
-            for c in self.netlist.components() {
-                c.eval(&mut self.signals);
-            }
-            if !self.signals.take_changed() {
-                converged = true;
-                break;
-            }
-        }
-        if !converged {
-            return Err(SimError::CombinationalCycle { cycle: self.cycle });
+        if self.config.scheduler == Scheduler::Dense || self.dense_next {
+            self.fixpoint_dense()?;
+            self.dense_next = false;
+        } else {
+            self.fixpoint_event()?;
         }
 
-        let fired = self.signals.count_fired();
+        // Sample transfer/stall statistics at the fixpoint, in one pass that
+        // also collects the fired channel set for the commit scheduler.
+        self.fired_scratch.clear();
+        let (fired, stalled) = self
+            .signals
+            .sample_cycle(&mut self.channel_stalls, &mut self.fired_scratch);
         self.transfers += fired;
-        self.stall_cycles += self.signals.count_stalled();
-        self.signals.accumulate_stalls(&mut self.channel_stalls);
+        self.stall_cycles += stalled;
         if let Some(rec) = &mut self.recorder {
             rec.sample(&self.signals);
         }
 
-        for c in self.netlist.components_mut() {
-            c.commit(&self.signals);
+        // Commit phase (identical in both schedulers). A settled component —
+        // previous commit reported no change, no adjacent channel fired this
+        // cycle — whose audit says its commit is fire-driven would return
+        // `false` without mutating anything, so the virtual call is skipped
+        // outright. Everything else commits, in index order.
+        for (i, &fd) in self.fire_driven.iter().enumerate() {
+            self.commit_mark[i] = !fd || self.restless[i];
+        }
+        for k in 0..self.fired_scratch.len() {
+            let idx = self.fired_scratch[k];
+            self.commit_mark[self.producer_of[idx]] = true;
+            self.commit_mark[self.consumer_of[idx]] = true;
+        }
+        let mut any_changed = false;
+        let comps = self.netlist.components_mut();
+        for (i, comp) in comps.iter_mut().enumerate() {
+            if !self.commit_mark[i] {
+                self.restless[i] = false;
+                continue;
+            }
+            self.commit_mark[i] = false;
+            let changed = comp.commit(&self.signals);
+            self.restless[i] = changed;
+            if changed && comp.eval_invalidated() {
+                self.seed_list.push(i);
+            }
+            any_changed |= changed;
+            if changed {
+                let idle = comp.is_idle();
+                if idle != self.idle_cache[i] {
+                    self.idle_cache[i] = idle;
+                    if idle {
+                        self.active -= 1;
+                    } else {
+                        self.active += 1;
+                    }
+                }
+            }
         }
 
-        if let Some(from) = self.bus.take_pending(|_| 0) {
+        let flushed = if let Some(from) = self.bus.take_pending(|_| 0) {
             for c in self.netlist.components_mut() {
                 c.flush(from);
             }
-            // A flush is progress even if no channel fired this cycle.
-            self.idle_streak = 0;
-        } else if fired == 0 {
-            self.idle_streak += 1;
+            // A flush rewrites state (and the bus epoch some evals read)
+            // behind the dirty set's back: rebuild densely next cycle and
+            // re-derive everything the incremental bookkeeping caches.
+            self.dense_next = true;
+            self.restless.iter_mut().for_each(|r| *r = true);
+            // The seeds recorded above are stale; the forced dense cycle
+            // rebuilds all wires and re-derives the list from its commits.
+            self.seed_list.clear();
+            self.refresh_idle_cache();
+            true
         } else {
+            false
+        };
+
+        // Progress = a transfer, a flush, or any internal state change (a
+        // long-latency unit draining counts, so slow quiescence is not
+        // mistaken for deadlock).
+        if flushed || fired > 0 || any_changed {
             self.idle_streak = 0;
+        } else {
+            self.idle_streak += 1;
         }
 
         self.cycle += 1;
         Ok(())
     }
 
+    /// Reference fixpoint: reset all wires, sweep every component until
+    /// nothing changes.
+    fn fixpoint_dense(&mut self) -> Result<(), SimError> {
+        // The dense sweep evaluates everything; pending seeds are subsumed.
+        self.seed_list.clear();
+        self.signals.reset();
+        // Monotone fixpoint: each sweep can only raise valid/ready wires, so
+        // the sweep count is bounded by the number of wires plus slack for
+        // data rewrites by arbitrating components.
+        let budget = 2 * self.signals.len() + self.netlist.node_count() + 8;
+        for _ in 0..budget {
+            for c in self.netlist.components() {
+                c.eval(&mut self.signals);
+            }
+            if !self.signals.take_changed() {
+                return Ok(());
+            }
+        }
+        Err(self.diagnose_divergence())
+    }
+
+    /// Event-driven fixpoint: warm-start from the previous cycle's wires and
+    /// re-evaluate only components reachable from the dirty set.
+    fn fixpoint_event(&mut self) -> Result<(), SimError> {
+        debug_assert!(self.queue.is_empty());
+        // Seed from the nodes whose last commit changed state their eval
+        // reads (drained here; the commit scheduler's companion `restless`
+        // set is untouched).
+        for k in 0..self.seed_list.len() {
+            let i = self.seed_list[k];
+            self.queue.push_back(i);
+            self.queued[i] = true;
+        }
+        self.seed_list.clear();
+        // Budget in *single-node evals*: the dense budget is in whole-netlist
+        // sweeps, so scale by the node count to give the worklist at least as
+        // much work before declaring divergence.
+        let nodes = self.netlist.node_count();
+        let sweep = 2 * self.signals.len() + nodes + 8;
+        let mut budget = sweep.saturating_mul(nodes.max(1));
+        while let Some(n) = self.queue.pop_front() {
+            self.queued[n] = false;
+            if budget == 0 {
+                self.queue.clear();
+                self.queued.iter_mut().for_each(|q| *q = false);
+                return Err(self.diagnose_divergence());
+            }
+            budget -= 1;
+            self.reeval_node(n);
+        }
+        // Re-derived wires set the global change flag; clear it so later
+        // dense cycles start clean.
+        self.signals.take_changed();
+        Ok(())
+    }
+
+    /// Re-evaluates one node: snapshot the wires it owns (outputs' drive,
+    /// inputs' ready), clear them, run `eval`, and wake the unique neighbor
+    /// behind every wire that came out different.
+    fn reeval_node(&mut self, n: usize) {
+        self.snap_out.clear();
+        self.snap_in.clear();
+        for k in 0..self.ports[n].outputs.len() {
+            let ch = self.ports[n].outputs[k];
+            self.snap_out.push(self.signals.drive_state(ch));
+            self.signals.clear_drive(ch);
+        }
+        for k in 0..self.ports[n].inputs.len() {
+            let ch = self.ports[n].inputs[k];
+            self.snap_in.push(self.signals.is_ready(ch));
+            self.signals.clear_ready(ch);
+        }
+        self.netlist.components()[n].eval(&mut self.signals);
+        for k in 0..self.ports[n].outputs.len() {
+            let ch = self.ports[n].outputs[k];
+            if self.signals.drive_state(ch) != self.snap_out[k] {
+                self.wake(self.consumer_of[ch.index()]);
+            }
+        }
+        for k in 0..self.ports[n].inputs.len() {
+            let ch = self.ports[n].inputs[k];
+            if self.signals.is_ready(ch) != self.snap_in[k] {
+                self.wake(self.producer_of[ch.index()]);
+            }
+        }
+    }
+
+    fn wake(&mut self, n: usize) {
+        if !self.queued[n] {
+            self.queued[n] = true;
+            self.queue.push_back(n);
+        }
+    }
+
+    /// Shared divergence diagnosis: rerun the dense fixpoint from reset,
+    /// then record one extra sweep — the wires still moving after the full
+    /// budget are the unbuffered feedback path. Running the identical dense
+    /// procedure from both schedulers guarantees they name the same channel
+    /// set.
+    fn diagnose_divergence(&mut self) -> SimError {
+        self.signals.reset();
+        let budget = 2 * self.signals.len() + self.netlist.node_count() + 8;
+        for _ in 0..budget {
+            for c in self.netlist.components() {
+                c.eval(&mut self.signals);
+            }
+            if !self.signals.take_changed() {
+                break;
+            }
+        }
+        self.signals.record_changes();
+        for c in self.netlist.components() {
+            c.eval(&mut self.signals);
+        }
+        self.signals.take_changed();
+        let channels = self.signals.take_recorded();
+        // The warm-start wires are garbage now; any further step (a caller
+        // ignoring the error) must rebuild densely.
+        self.dense_next = true;
+        SimError::CombinationalCycle {
+            cycle: self.cycle,
+            channels,
+        }
+    }
+
+    /// Recomputes the idle cache from scratch (after a flush, whose state
+    /// rewrites bypass commit's change reporting).
+    fn refresh_idle_cache(&mut self) {
+        for (i, c) in self.netlist.components().iter().enumerate() {
+            self.idle_cache[i] = c.is_idle();
+        }
+        self.active = self.idle_cache.iter().filter(|&&i| !i).count();
+    }
+
     /// True once every component reports idle.
+    ///
+    /// Served from the incrementally maintained idle cache: a component's
+    /// idleness only moves when its commit reports a state change (`eval`
+    /// takes `&self`) or when a flush rewrites state, and both paths update
+    /// the cache.
     pub fn quiescent(&self) -> bool {
-        self.netlist.components().iter().all(|c| c.is_idle())
+        debug_assert_eq!(
+            self.active,
+            self.netlist
+                .components()
+                .iter()
+                .filter(|c| !c.is_idle())
+                .count(),
+            "idle cache out of sync"
+        );
+        self.active == 0
     }
 
     /// Runs until quiescence.
@@ -357,6 +667,7 @@ mod tests {
             .with_config(SimConfig {
                 max_cycles: 100_000,
                 watchdog: 50,
+                ..SimConfig::default()
             });
         let err = sim.run().expect_err("must deadlock");
         match err {
@@ -418,6 +729,7 @@ mod tests {
             .with_config(SimConfig {
                 max_cycles: 3,
                 watchdog: 1000,
+                ..SimConfig::default()
             });
         assert!(matches!(
             sim.run(),

@@ -42,6 +42,10 @@ pub enum SimError {
     CombinationalCycle {
         /// Cycle number at which divergence was detected.
         cycle: u64,
+        /// The channels still churning after the sweep budget was exhausted
+        /// (smallest observed non-converged wire set, in id order) — the
+        /// unbuffered feedback path runs through these.
+        channels: Vec<ChannelId>,
     },
     /// No token transferred and no component made internal progress for the
     /// watchdog window; the circuit is deadlocked.
@@ -63,8 +67,13 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::CombinationalCycle { cycle } => {
-                write!(f, "combinational cycle detected at cycle {cycle}: wire fixpoint did not converge (missing elastic buffer on a feedback path)")
+            SimError::CombinationalCycle { cycle, channels } => {
+                write!(f, "combinational cycle detected at cycle {cycle}: wire fixpoint did not converge (missing elastic buffer on a feedback path)")?;
+                if !channels.is_empty() {
+                    let names: Vec<String> = channels.iter().map(ChannelId::to_string).collect();
+                    write!(f, "; non-converging channels: {}", names.join(", "))?;
+                }
+                Ok(())
             }
             SimError::Deadlock { cycle, detail } => {
                 write!(f, "deadlock at cycle {cycle}: {detail}")

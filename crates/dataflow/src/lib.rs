@@ -59,12 +59,13 @@ mod netlist;
 mod signal;
 mod squash;
 mod stats;
+pub mod sweep;
 mod token;
 pub mod trace;
 pub mod viz;
 
 pub use component::{Component, Ports};
-pub use engine::{SimConfig, Simulator};
+pub use engine::{Scheduler, SimConfig, Simulator};
 pub use error::{NetlistError, SimError};
 pub use netlist::{ChannelEndpoints, Netlist, NodeId};
 pub use signal::{ChannelId, Signals};

@@ -156,6 +156,29 @@ impl Netlist {
         }
     }
 
+    /// Per-channel unique endpoint tables `(producer_of, consumer_of)`,
+    /// indexed by [`ChannelId::index`] — the flattened form of
+    /// [`channel_endpoints`](Netlist::channel_endpoints) the event-driven
+    /// scheduler propagates wake-ups along.
+    ///
+    /// Returns `None` unless every channel has exactly one producer and one
+    /// consumer (i.e. unless [`validate`](Netlist::validate) passes).
+    pub fn unique_endpoints(&self) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+        let ends = self.channel_endpoints();
+        let mut producers = Vec::with_capacity(self.channels as usize);
+        let mut consumers = Vec::with_capacity(self.channels as usize);
+        for i in 0..self.channels as usize {
+            match (&ends.producers[i][..], &ends.consumers[i][..]) {
+                (&[p], &[c]) => {
+                    producers.push(p);
+                    consumers.push(c);
+                }
+                _ => return None,
+            }
+        }
+        Some((producers, consumers))
+    }
+
     /// All structural connectivity errors, in channel-id order (producer
     /// problems reported before consumer problems for the same channel).
     ///

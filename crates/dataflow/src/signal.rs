@@ -40,44 +40,71 @@ impl std::fmt::Display for ChannelId {
     }
 }
 
+/// One bit per channel, packed 64 to a word: the whole-netlist scans the
+/// engine performs every cycle (fired/stall sampling, fast-path fired
+/// masks) reduce to word-wise boolean algebra and popcounts.
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    (words[i >> 6] >> (i & 63)) & 1 != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1 << (i & 63));
+}
+
 /// The combinational wire state of every channel during one clock cycle.
 ///
 /// Obtained by the engine; components interact with it inside
 /// [`Component::eval`](crate::Component::eval) and read the fixpoint result
-/// inside [`Component::commit`](crate::Component::commit).
+/// inside [`Component::commit`](crate::Component::commit). `valid` and
+/// `ready` are packed bitmaps (see [`bit_get`]).
 #[derive(Debug, Clone)]
 pub struct Signals {
-    valid: Vec<bool>,
-    ready: Vec<bool>,
+    valid: Vec<u64>,
+    ready: Vec<u64>,
     data: Vec<Option<Token>>,
+    channels: usize,
     changed: bool,
+    /// When present, every wire raised/rewritten is marked here — used by the
+    /// engine's combinational-cycle diagnosis to name the channels that are
+    /// still churning after the sweep budget is exhausted.
+    record: Option<Vec<bool>>,
 }
 
 impl Signals {
     /// Creates wire state for `n` channels, all low.
     pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
         Signals {
-            valid: vec![false; n],
-            ready: vec![false; n],
+            valid: vec![0; words],
+            ready: vec![0; words],
             data: vec![None; n],
+            channels: n,
             changed: false,
+            record: None,
         }
     }
 
     /// Number of channels.
     pub fn len(&self) -> usize {
-        self.valid.len()
+        self.channels
     }
 
     /// True if there are no channels.
     pub fn is_empty(&self) -> bool {
-        self.valid.is_empty()
+        self.channels == 0
     }
 
     /// Resets all wires low at the start of a cycle.
     pub(crate) fn reset(&mut self) {
-        self.valid.iter_mut().for_each(|v| *v = false);
-        self.ready.iter_mut().for_each(|r| *r = false);
+        self.valid.iter_mut().for_each(|v| *v = 0);
+        self.ready.iter_mut().for_each(|r| *r = 0);
         self.data.iter_mut().for_each(|d| *d = None);
         self.changed = false;
     }
@@ -88,14 +115,64 @@ impl Signals {
         std::mem::replace(&mut self.changed, false)
     }
 
+    /// Starts marking every subsequently touched wire (divergence diagnosis).
+    pub(crate) fn record_changes(&mut self) {
+        self.record = Some(vec![false; self.len()]);
+    }
+
+    /// Stops recording and returns the touched channels in id order.
+    pub(crate) fn take_recorded(&mut self) -> Vec<ChannelId> {
+        self.record
+            .take()
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+            .filter(|(_, &hit)| hit)
+            .map(|(i, _)| ChannelId::from_index(i))
+            .collect()
+    }
+
+    fn mark(&mut self, i: usize) {
+        self.changed = true;
+        if let Some(rec) = &mut self.record {
+            rec[i] = true;
+        }
+    }
+
+    /// Producer-side wire pair of `ch`: `(valid, data)`. The event scheduler
+    /// snapshots this before re-evaluating a producer and diffs afterwards to
+    /// decide whether the consumer must be woken.
+    pub(crate) fn drive_state(&self, ch: ChannelId) -> (bool, Option<Token>) {
+        (bit_get(&self.valid, ch.index()), self.data[ch.index()])
+    }
+
+    /// Lowers `valid` and clears the data of `ch`. Only the event scheduler
+    /// may call this, and only on the output channels of the component it is
+    /// about to re-evaluate: within a cycle wires are monotone, but across
+    /// warm-started cycles a producer's stale drive must be dropped before
+    /// its fresh `eval` re-asserts (or not) the offer. Valid and data are
+    /// cleared together so no consumer can observe a stale token behind a
+    /// fresh `valid`.
+    pub(crate) fn clear_drive(&mut self, ch: ChannelId) {
+        let i = ch.index();
+        bit_clear(&mut self.valid, i);
+        self.data[i] = None;
+    }
+
+    /// Lowers `ready` on `ch` (event scheduler, consumer side — see
+    /// [`clear_drive`](Signals::clear_drive)).
+    pub(crate) fn clear_ready(&mut self, ch: ChannelId) {
+        bit_clear(&mut self.ready, ch.index());
+    }
+
     /// Producer side: is a token offered on `ch` this cycle?
     pub fn is_valid(&self, ch: ChannelId) -> bool {
-        self.valid[ch.index()]
+        bit_get(&self.valid, ch.index())
     }
 
     /// Consumer side: is the consumer of `ch` willing to accept this cycle?
     pub fn is_ready(&self, ch: ChannelId) -> bool {
-        self.ready[ch.index()]
+        bit_get(&self.ready, ch.index())
     }
 
     /// The token currently offered on `ch`, if any.
@@ -108,7 +185,8 @@ impl Signals {
     /// Only meaningful after the fixpoint, i.e. inside
     /// [`Component::commit`](crate::Component::commit).
     pub fn fired(&self, ch: ChannelId) -> bool {
-        self.valid[ch.index()] && self.ready[ch.index()]
+        let w = self.valid[ch.index() >> 6] & self.ready[ch.index() >> 6];
+        (w >> (ch.index() & 63)) & 1 != 0
     }
 
     /// The token transferred on `ch` this cycle, if the channel fired.
@@ -128,19 +206,19 @@ impl Signals {
     /// become visible. `valid` itself can never be lowered within a cycle.
     pub fn drive(&mut self, ch: ChannelId, token: Token) {
         let i = ch.index();
-        if !self.valid[i] || self.data[i] != Some(token) {
-            self.valid[i] = true;
+        if !bit_get(&self.valid, i) || self.data[i] != Some(token) {
+            bit_set(&mut self.valid, i);
             self.data[i] = Some(token);
-            self.changed = true;
+            self.mark(i);
         }
     }
 
     /// Consumer raises `ready` on `ch`.
     pub fn accept(&mut self, ch: ChannelId) {
         let i = ch.index();
-        if !self.ready[i] {
-            self.ready[i] = true;
-            self.changed = true;
+        if !bit_get(&self.ready, i) {
+            bit_set(&mut self.ready, i);
+            self.mark(i);
         }
     }
 
@@ -167,31 +245,59 @@ impl Signals {
         }
     }
 
-    /// Number of channels that fired this cycle.
-    pub(crate) fn count_fired(&self) -> u64 {
-        self.valid
-            .iter()
-            .zip(&self.ready)
-            .filter(|(v, r)| **v && **r)
-            .count() as u64
-    }
-
-    /// Number of channels stalled this cycle (valid but not ready).
-    pub(crate) fn count_stalled(&self) -> u64 {
-        self.valid
-            .iter()
-            .zip(&self.ready)
-            .filter(|(v, r)| **v && !**r)
-            .count() as u64
-    }
-
-    /// Adds 1 to `counts[ch]` for every channel stalled this cycle.
-    pub(crate) fn accumulate_stalls(&self, counts: &mut [u64]) {
-        for (i, (v, r)) in self.valid.iter().zip(&self.ready).enumerate() {
-            if *v && !*r {
-                counts[i] += 1;
+    /// One-pass fixpoint sample: returns `(fired, stalled)` counts, adds 1
+    /// to `stall_counts[ch]` for every stalled channel (the pinned stall
+    /// semantics: valid-and-not-ready at the fixpoint), and appends the
+    /// index of every fired channel to `fired_out`. Fused and word-parallel
+    /// because the engine takes this sample every cycle.
+    pub(crate) fn sample_cycle(
+        &self,
+        stall_counts: &mut [u64],
+        fired_out: &mut Vec<usize>,
+    ) -> (u64, u64) {
+        let mut fired = 0;
+        let mut stalled = 0;
+        for (w, (v, r)) in self.valid.iter().zip(&self.ready).enumerate() {
+            let mut f = v & r;
+            let mut st = v & !r;
+            fired += f.count_ones() as u64;
+            stalled += st.count_ones() as u64;
+            while f != 0 {
+                fired_out.push((w << 6) | f.trailing_zeros() as usize);
+                f &= f - 1;
+            }
+            while st != 0 {
+                stall_counts[(w << 6) | st.trailing_zeros() as usize] += 1;
+                st &= st - 1;
             }
         }
+        (fired, stalled)
+    }
+
+    /// True when any channel in `mask` (a packed bitmap as produced by
+    /// [`fired_mask`](Signals::fired_mask)) fired this cycle. The mask may
+    /// be shorter than the channel space; missing words are treated as zero.
+    pub fn any_masked_fired(&self, mask: &[u64]) -> bool {
+        self.valid
+            .iter()
+            .zip(&self.ready)
+            .zip(mask)
+            .any(|((v, r), m)| v & r & m != 0)
+    }
+
+    /// Builds a packed bitmap covering `channels`, for
+    /// [`any_masked_fired`](Signals::any_masked_fired). Independent of any
+    /// `Signals` instance; associated here to keep the bit layout private.
+    pub fn fired_mask(channels: impl IntoIterator<Item = ChannelId>) -> Vec<u64> {
+        let mut mask = Vec::new();
+        for ch in channels {
+            let w = ch.index() >> 6;
+            if w >= mask.len() {
+                mask.resize(w + 1, 0);
+            }
+            mask[w] |= 1 << (ch.index() & 63);
+        }
+        mask
     }
 }
 
@@ -252,7 +358,26 @@ mod tests {
         s.drive(ch(0), Token::new(1, 0));
         s.accept(ch(0));
         s.drive(ch(1), Token::new(2, 0));
-        assert_eq!(s.count_fired(), 1);
-        assert_eq!(s.count_stalled(), 1);
+        let mut counts = vec![0u64; 3];
+        let mut fired = Vec::new();
+        assert_eq!(s.sample_cycle(&mut counts, &mut fired), (1, 1));
+        assert_eq!(fired, vec![0]);
+        assert_eq!(counts, vec![0, 1, 0], "stalled = valid && !ready");
+    }
+
+    #[test]
+    fn masked_fired_matches_per_channel_fired() {
+        let mut s = Signals::new(70);
+        s.drive(ch(69), Token::new(1, 0));
+        let mask = Signals::fired_mask([ch(2), ch(69)]);
+        assert!(!s.any_masked_fired(&mask), "valid but not ready");
+        s.accept(ch(69));
+        assert!(s.any_masked_fired(&mask));
+        let other = Signals::fired_mask([ch(5)]);
+        assert!(!s.any_masked_fired(&other));
+        // A short mask (no high words) is treated as all-zero there.
+        let short = Signals::fired_mask([ch(3)]);
+        assert_eq!(short.len(), 1);
+        assert!(!s.any_masked_fired(&short));
     }
 }

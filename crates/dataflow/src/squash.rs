@@ -8,21 +8,29 @@
 //! it at the end of the cycle by bumping the epoch, flushing every component,
 //! and rewinding the iteration source.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::rc::Rc;
 
 /// Shared squash mailbox. Cheap to clone; all clones observe the same state.
+///
+/// All fields are plain [`Cell`]s: the engine polls [`take_pending`] every
+/// cycle and iteration sources read [`epoch`] on every re-evaluation, so the
+/// mailbox sits on the simulation hot path — `Cell` reads avoid `RefCell`'s
+/// borrow-flag traffic (and its reentrancy panics) entirely.
+///
+/// [`take_pending`]: SquashBus::take_pending
+/// [`epoch`]: SquashBus::epoch
 #[derive(Debug, Clone, Default)]
 pub struct SquashBus {
-    inner: Rc<RefCell<BusState>>,
+    inner: Rc<BusState>,
 }
 
 #[derive(Debug, Default)]
 struct BusState {
-    epoch: u32,
-    pending: Option<u64>,
-    squashes: u64,
-    replayed_iters: u64,
+    epoch: Cell<u32>,
+    pending: Cell<Option<u64>>,
+    squashes: Cell<u64>,
+    replayed_iters: Cell<u64>,
 }
 
 impl SquashBus {
@@ -33,7 +41,7 @@ impl SquashBus {
 
     /// Current squash epoch. Tokens issued by sources carry this epoch.
     pub fn epoch(&self) -> u32 {
-        self.inner.borrow().epoch
+        self.inner.epoch.get()
     }
 
     /// Posts a squash restarting execution from `from_iter`.
@@ -42,39 +50,39 @@ impl SquashBus {
     /// wins (a single flush from the minimum faulting iteration subsumes
     /// both).
     pub fn post(&self, from_iter: u64) {
-        let mut st = self.inner.borrow_mut();
-        st.pending = Some(match st.pending {
+        let cur = self.inner.pending.get();
+        self.inner.pending.set(Some(match cur {
             Some(cur) => cur.min(from_iter),
             None => from_iter,
-        });
+        }));
     }
 
     /// True if a squash has been posted and not yet applied.
     pub fn has_pending(&self) -> bool {
-        self.inner.borrow().pending.is_some()
+        self.inner.pending.get().is_some()
     }
 
     /// Engine side: takes the pending squash, if any, bumping the epoch and
     /// recording statistics. Returns the iteration to restart from.
     pub fn take_pending(&self, replay_span: impl FnOnce(u64) -> u64) -> Option<u64> {
-        let mut st = self.inner.borrow_mut();
-        let from = st.pending.take()?;
-        st.epoch += 1;
-        st.squashes += 1;
-        drop(st);
+        let from = self.inner.pending.take()?;
+        self.inner.epoch.set(self.inner.epoch.get() + 1);
+        self.inner.squashes.set(self.inner.squashes.get() + 1);
         let span = replay_span(from);
-        self.inner.borrow_mut().replayed_iters += span;
+        self.inner
+            .replayed_iters
+            .set(self.inner.replayed_iters.get() + span);
         Some(from)
     }
 
     /// Total number of squashes applied so far.
     pub fn squash_count(&self) -> u64 {
-        self.inner.borrow().squashes
+        self.inner.squashes.get()
     }
 
     /// Total number of iterations that had to be replayed.
     pub fn replayed_iters(&self) -> u64 {
-        self.inner.borrow().replayed_iters
+        self.inner.replayed_iters.get()
     }
 }
 

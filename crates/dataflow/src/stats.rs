@@ -38,6 +38,66 @@ impl SimReport {
     pub fn top_stalled(&self, n: usize) -> &[(ChannelId, u64)] {
         &self.stalled_channels[..n.min(self.stalled_channels.len())]
     }
+
+    /// Field-by-field comparison against `other`, naming the first few
+    /// mismatches — `None` when the reports are identical. Built for the
+    /// scheduler-equivalence tests, where "`assert_eq!` on two 40-line
+    /// structs failed" is useless without knowing *which* counter diverged.
+    pub fn diff(&self, other: &SimReport) -> Option<String> {
+        let mut lines = Vec::new();
+        if self.cycles != other.cycles {
+            lines.push(format!("cycles: {} vs {}", self.cycles, other.cycles));
+        }
+        if self.transfers != other.transfers {
+            lines.push(format!(
+                "transfers: {} vs {}",
+                self.transfers, other.transfers
+            ));
+        }
+        if self.stall_cycles != other.stall_cycles {
+            lines.push(format!(
+                "stall_cycles: {} vs {}",
+                self.stall_cycles, other.stall_cycles
+            ));
+        }
+        if self.squashes != other.squashes {
+            lines.push(format!("squashes: {} vs {}", self.squashes, other.squashes));
+        }
+        if self.replayed_iters != other.replayed_iters {
+            lines.push(format!(
+                "replayed_iters: {} vs {}",
+                self.replayed_iters, other.replayed_iters
+            ));
+        }
+        if self.stalled_channels != other.stalled_channels {
+            let first = self
+                .stalled_channels
+                .iter()
+                .zip(&other.stalled_channels)
+                .find(|(a, b)| a != b);
+            lines.push(match first {
+                Some((a, b)) => format!(
+                    "stalled_channels: first mismatch {}={} vs {}={} (lengths {} vs {})",
+                    a.0,
+                    a.1,
+                    b.0,
+                    b.1,
+                    self.stalled_channels.len(),
+                    other.stalled_channels.len()
+                ),
+                None => format!(
+                    "stalled_channels: lengths {} vs {}",
+                    self.stalled_channels.len(),
+                    other.stalled_channels.len()
+                ),
+            });
+        }
+        if lines.is_empty() {
+            None
+        } else {
+            Some(lines.join("; "))
+        }
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -63,6 +123,26 @@ mod tests {
     fn activity_handles_zero_cycles() {
         let r = SimReport::default();
         assert_eq!(r.activity(), 0.0);
+    }
+
+    #[test]
+    fn diff_names_the_divergent_field() {
+        let a = SimReport {
+            cycles: 10,
+            transfers: 20,
+            stall_cycles: 3,
+            squashes: 0,
+            replayed_iters: 0,
+            stalled_channels: vec![(ChannelId(1), 3)],
+        };
+        assert_eq!(a.diff(&a), None);
+        let mut b = a.clone();
+        b.stall_cycles = 4;
+        b.stalled_channels = vec![(ChannelId(1), 4)];
+        let d = a.diff(&b).expect("differs");
+        assert!(d.contains("stall_cycles: 3 vs 4"), "{d}");
+        assert!(d.contains("stalled_channels"), "{d}");
+        assert!(!d.contains("cycles: 10"), "unchanged fields omitted: {d}");
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Scheduler equivalence and diagnostics: the event-driven dirty-set
+//! fixpoint must be observationally identical to the dense reference sweep —
+//! same cycle counts, same outputs, same stall attribution, and the same
+//! error (naming the same channels) when a circuit is genuinely divergent.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prevv_dataflow::components::{
+    BinOp, BinaryAlu, Branch, Buffer, Constant, Fork, IterSource, Join, Merge, Mux, Sink,
+};
+use prevv_dataflow::{
+    Netlist, Scheduler, SimConfig, SimError, SimReport, Simulator, SquashBus, Token,
+};
+
+fn config(scheduler: Scheduler) -> SimConfig {
+    SimConfig {
+        scheduler,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs a netlist builder under one scheduler and returns the report plus
+/// whatever the collecting sink saw (sorted: sinks don't order concurrent
+/// arrivals).
+fn run_with(
+    build: impl Fn() -> (Netlist, SquashBus, Rc<RefCell<Vec<Token>>>),
+    scheduler: Scheduler,
+) -> (SimReport, Vec<i64>) {
+    let (net, bus, store) = build();
+    let mut sim = Simulator::new(net, bus)
+        .expect("valid netlist")
+        .with_config(config(scheduler));
+    let report = sim.run().expect("completes");
+    let mut values: Vec<i64> = store.borrow().iter().map(|t| t.value).collect();
+    values.sort_unstable();
+    (report, values)
+}
+
+/// Asserts byte-identical `SimReport`s and outputs between both schedulers.
+fn assert_equivalent(build: impl Fn() -> (Netlist, SquashBus, Rc<RefCell<Vec<Token>>>)) {
+    let (dense, dense_vals) = run_with(&build, Scheduler::Dense);
+    let (event, event_vals) = run_with(&build, Scheduler::EventDriven);
+    if let Some(diff) = dense.diff(&event) {
+        panic!("schedulers disagree: {diff}");
+    }
+    assert_eq!(dense_vals, event_vals, "collected outputs differ");
+}
+
+/// A multi-stage arithmetic pipeline: `(i + 1) * 2` through forked triggers,
+/// buffers, and two ALU latencies.
+fn pipeline(
+    n: i64,
+    add_latency: u32,
+    mul_latency: u32,
+    buf_cap: usize,
+) -> impl Fn() -> (Netlist, SquashBus, Rc<RefCell<Vec<Token>>>) {
+    move || {
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let src_out = net.channel();
+        let f1 = net.channel();
+        let f2 = net.channel();
+        let trig = net.channel();
+        let one = net.channel();
+        let sum = net.channel();
+        let sum_f1 = net.channel();
+        let sum_f2 = net.channel();
+        let two = net.channel();
+        let prod = net.channel();
+        let rows = (0..n).map(|i| vec![i]).collect();
+        net.add("src", IterSource::new(rows, vec![src_out], bus.clone()));
+        net.add("fork", Fork::new(src_out, vec![f1, f2]));
+        net.add("buf", Buffer::new(buf_cap, f2, trig));
+        net.add("one", Constant::new(1, trig, one));
+        net.add(
+            "add",
+            BinaryAlu::with_latency(BinOp::Add, add_latency, f1, one, sum),
+        );
+        net.add("fork2", Fork::new(sum, vec![sum_f1, sum_f2]));
+        net.add("two", Constant::new(2, sum_f2, two));
+        net.add(
+            "mul",
+            BinaryAlu::with_latency(BinOp::Mul, mul_latency, sum_f1, two, prod),
+        );
+        let (sink, store) = Sink::collecting(vec![prod]);
+        net.add("sink", sink);
+        (net, bus, store)
+    }
+}
+
+#[test]
+fn schedulers_agree_on_pipelines() {
+    assert_equivalent(pipeline(32, 1, 3, 2));
+    assert_equivalent(pipeline(64, 2, 4, 1));
+    assert_equivalent(pipeline(1, 1, 1, 1));
+    assert_equivalent(pipeline(0, 1, 1, 1));
+}
+
+#[test]
+fn schedulers_agree_on_routing_circuits() {
+    // Branch/Merge diamond: odd values detour through an extra adder.
+    let build = || {
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let src_out = net.channel();
+        let f_data = net.channel();
+        let f_par = net.channel();
+        let par_trig = net.channel();
+        let one_p = net.channel();
+        let parity = net.channel();
+        let odd = net.channel();
+        let even = net.channel();
+        let odd_buf = net.channel();
+        let trig2 = net.channel();
+        let hundred = net.channel();
+        let bumped = net.channel();
+        let merged = net.channel();
+        let rows = (0..24).map(|i| vec![i]).collect();
+        net.add("src", IterSource::new(rows, vec![src_out], bus.clone()));
+        net.add("fork", Fork::new(src_out, vec![f_data, f_par, par_trig]));
+        net.add("one_p", Constant::new(1, par_trig, one_p));
+        net.add(
+            "parity",
+            BinaryAlu::with_latency(BinOp::And, 1, f_par, one_p, parity),
+        );
+        // Parity arrives one cycle after the data: buffer the data so the
+        // branch can pair them without a combinational wait.
+        let data_buf = net.channel();
+        net.add("dbuf", Buffer::new(4, f_data, data_buf));
+        net.add("branch", Branch::new(data_buf, parity, odd, even));
+        net.add("obuf", Buffer::new(2, odd, odd_buf));
+        let odd_f1 = net.channel();
+        let odd_f2 = net.channel();
+        net.add("ofork", Fork::new(odd_buf, vec![odd_f1, odd_f2]));
+        net.add("c100", Constant::new(100, odd_f2, hundred));
+        net.add("trig2src", Buffer::new(2, odd_f1, trig2));
+        net.add(
+            "bump",
+            BinaryAlu::with_latency(BinOp::Add, 2, trig2, hundred, bumped),
+        );
+        net.add("merge", Merge::new(vec![bumped, even], merged));
+        let (sink, store) = Sink::collecting(vec![merged]);
+        net.add("sink", sink);
+        (net, bus, store)
+    };
+    assert_equivalent(build);
+}
+
+/// Satellite 1: both schedulers must refuse a genuinely divergent circuit
+/// with the *same* `CombinationalCycle` error, naming the same channels.
+///
+/// The unbuffered loop here is a Mux whose select is fed back from its own
+/// output through a Fork and a priority Merge, with the two mux legs holding
+/// different values (1 and 0): once a token enters the loop the select
+/// oscillates 0 -> 1 -> 0 within a single fixpoint and the data wires churn
+/// forever. A Branch gates loop entry on the *second* iteration, so cycle 0
+/// converges (exercising the event scheduler's warm-start path) and the
+/// divergence is detected at cycle 1 by both schedulers.
+///
+/// Note this has to be a hand-built netlist: the repo's divergence fixture
+/// `kernels/bad/combinational_loop.pvk` is refused *statically* (PV103,
+/// pinned in prevv-analyze's tests) and cannot diverge at runtime — every
+/// synthesized ALU/controller is registered, and an identity copy loop is an
+/// idempotent fixpoint anyway. Runtime divergence needs a loop that rewrites
+/// a value to something different, which no lint-clean kernel synthesizes.
+#[test]
+fn schedulers_name_the_same_divergent_channels() {
+    let build = || {
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let data = net.channel();
+        let cond = net.channel();
+        let v_f = net.channel();
+        let v_t = net.channel();
+        let bv_f = net.channel();
+        let bv_t = net.channel();
+        let enter = net.channel();
+        let safe = net.channel();
+        let loop_back = net.channel();
+        let sel = net.channel();
+        let mux_out = net.channel();
+        let spill = net.channel();
+        // Iteration 0 routes its token to the safe sink; iteration 1 routes
+        // it into the unbuffered loop.
+        let rows = vec![vec![7, 0, 1, 0], vec![7, 1, 1, 0]];
+        net.add(
+            "src",
+            IterSource::new(rows, vec![data, cond, v_f, v_t], bus.clone()),
+        );
+        net.add("bf", Buffer::new(2, v_f, bv_f));
+        net.add("bt", Buffer::new(2, v_t, bv_t));
+        net.add("gate", Branch::new(data, cond, enter, safe));
+        net.add("safe_sink", Sink::new(vec![safe]));
+        net.add("merge", Merge::new(vec![loop_back, enter], sel));
+        net.add("mux", Mux::new(sel, bv_f, bv_t, mux_out));
+        net.add("fork", Fork::new(mux_out, vec![loop_back, spill]));
+        net.add("spill_sink", Sink::new(vec![spill]));
+        (net, bus, (sel, mux_out, loop_back))
+    };
+
+    let mut errors = Vec::new();
+    for scheduler in [Scheduler::Dense, Scheduler::EventDriven] {
+        let (net, bus, (sel, mux_out, loop_back)) = build();
+        let mut sim = Simulator::new(net, bus)
+            .expect("structurally valid")
+            .with_config(config(scheduler));
+        match sim.run() {
+            Err(SimError::CombinationalCycle { cycle, channels }) => {
+                assert_eq!(cycle, 1, "{scheduler:?}: cycle 0 must converge");
+                assert!(!channels.is_empty(), "{scheduler:?}: channels named");
+                for ch in [sel, mux_out, loop_back] {
+                    assert!(
+                        channels.contains(&ch),
+                        "{scheduler:?}: loop channel {ch} must be named, got {channels:?}"
+                    );
+                }
+                // The error message names the churning channels.
+                let msg = SimError::CombinationalCycle {
+                    cycle,
+                    channels: channels.clone(),
+                }
+                .to_string();
+                assert!(msg.contains("non-converging channels"), "{msg}");
+                errors.push(channels);
+            }
+            other => panic!("{scheduler:?}: expected CombinationalCycle, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        errors[0], errors[1],
+        "dense and event must name the identical channel set"
+    );
+}
+
+/// Satellite 2: a stall is "valid and not ready *at the fixpoint*", counted
+/// once per channel per cycle — pinned against a hand-checked circuit, and
+/// identical between schedulers.
+#[test]
+fn stall_accounting_is_sampled_at_the_fixpoint() {
+    let build = || {
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let src_out = net.channel();
+        let slow_in = net.channel();
+        let f1 = net.channel();
+        let f2 = net.channel();
+        let trig = net.channel();
+        let one = net.channel();
+        let out = net.channel();
+        let rows = (0..8).map(|i| vec![i]).collect();
+        net.add("src", IterSource::new(rows, vec![src_out], bus.clone()));
+        net.add("fork", Fork::new(src_out, vec![f1, f2]));
+        net.add("buf", Buffer::new(1, f2, trig));
+        net.add("one", Constant::new(1, trig, one));
+        net.add("inbuf", Buffer::new(1, f1, slow_in));
+        // A 5-cycle multiplier at initiation interval 1 backpressures the
+        // channels feeding it.
+        net.add(
+            "slow",
+            BinaryAlu::with_latency(BinOp::Mul, 5, slow_in, one, out),
+        );
+        let (sink, store) = Sink::collecting(vec![out]);
+        net.add("sink", sink);
+        (net, bus, store)
+    };
+
+    let (dense, _) = run_with(build, Scheduler::Dense);
+    let (event, _) = run_with(build, Scheduler::EventDriven);
+    if let Some(diff) = dense.diff(&event) {
+        panic!("stall attribution diverged: {diff}");
+    }
+
+    // Pin the semantics, not just the agreement: the per-channel counts sum
+    // to the total, every counted channel stalled at least one full cycle,
+    // and the fully-pipelined unit's backpressure shows up (a 5-deep
+    // pipeline at II 1 holds valid-high inputs it cannot accept).
+    assert!(dense.stall_cycles > 0, "a deep pipeline must stall inputs");
+    let per_channel: u64 = dense.stalled_channels.iter().map(|(_, c)| c).sum();
+    assert_eq!(
+        per_channel, dense.stall_cycles,
+        "per-channel attribution must sum to the stall total"
+    );
+    // Attribution is sorted by count descending.
+    for w in dense.stalled_channels.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+}
+
+/// Satellite 3: slow drain is not deadlock. A 40-cycle ALU with a watchdog
+/// of 8 completes: every in-flight token shifting through the pipeline is
+/// internal progress, so the no-progress streak never accumulates. (Before
+/// commit reported state changes, any quiescence longer than the watchdog
+/// window with no channel transfer was misreported as deadlock.)
+#[test]
+fn watchdog_tolerates_long_latency_drain() {
+    let build = || {
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let src_out = net.channel();
+        let f1 = net.channel();
+        let f2 = net.channel();
+        let trig = net.channel();
+        let one = net.channel();
+        let out = net.channel();
+        net.add(
+            "src",
+            IterSource::new(vec![vec![3]], vec![src_out], bus.clone()),
+        );
+        net.add("fork", Fork::new(src_out, vec![f1, f2]));
+        net.add("buf", Buffer::new(1, f2, trig));
+        net.add("one", Constant::new(1, trig, one));
+        // 40 cycles in flight with zero channel transfers while the token
+        // marches through the pipe.
+        net.add(
+            "slow",
+            BinaryAlu::with_latency(BinOp::Add, 40, f1, one, out),
+        );
+        let (sink, store) = Sink::collecting(vec![out]);
+        net.add("sink", sink);
+        (net, bus, store)
+    };
+    for scheduler in [Scheduler::Dense, Scheduler::EventDriven] {
+        let (net, bus, store) = build();
+        let mut sim = Simulator::new(net, bus)
+            .expect("valid")
+            .with_config(SimConfig {
+                max_cycles: 10_000,
+                watchdog: 8,
+                scheduler,
+            });
+        let report = sim
+            .run()
+            .unwrap_or_else(|e| panic!("{scheduler:?}: slow drain misread as failure: {e}"));
+        assert!(report.cycles > 40, "the drain really took the latency");
+        assert_eq!(store.borrow().iter().map(|t| t.value).sum::<i64>(), 4);
+    }
+}
+
+/// Satellite 4 (substrate half): randomized shapes — iteration counts,
+/// ALU latencies, and buffer capacities drawn per case — must produce
+/// byte-identical reports and outputs under both schedulers. The
+/// squash-and-replay half of this property lives in the core crate's
+/// end-to-end proptests, where a real PreVV controller drives the bus.
+mod randomized {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        #[test]
+        fn schedulers_agree_on_random_pipelines(
+            n in 0i64..48,
+            add_latency in 1u32..6,
+            mul_latency in 1u32..6,
+            buf_cap in 1usize..5,
+        ) {
+            let build = pipeline(n, add_latency, mul_latency, buf_cap);
+            let (dense, dense_vals) = run_with(&build, Scheduler::Dense);
+            let (event, event_vals) = run_with(&build, Scheduler::EventDriven);
+            prop_assert!(dense.diff(&event).is_none(), "{}", dense.diff(&event).unwrap());
+            prop_assert_eq!(dense_vals, event_vals);
+        }
+    }
+}
+
+/// The inverse guard for satellite 3: a genuinely wedged circuit (a join
+/// starved of its second operand) still trips the watchdog under both
+/// schedulers — stuck-but-settled components report no state change.
+#[test]
+fn watchdog_still_trips_on_genuine_deadlock() {
+    let build = || {
+        let mut net = Netlist::new();
+        let bus = SquashBus::new();
+        let a = net.channel();
+        let a_buf = net.channel();
+        let b = net.channel();
+        let b_buf = net.channel();
+        let out = net.channel();
+        net.add("src", IterSource::new(vec![vec![1]], vec![a], bus.clone()));
+        net.add("buf_a", Buffer::new(1, a, a_buf));
+        net.add("src_b", IterSource::new(vec![], vec![b], bus.clone()));
+        net.add("buf_b", Buffer::new(1, b, b_buf));
+        net.add("join", Join::new(vec![a_buf, b_buf], out));
+        net.add("sink", Sink::new(vec![out]));
+        (net, bus)
+    };
+    for scheduler in [Scheduler::Dense, Scheduler::EventDriven] {
+        let (net, bus) = build();
+        let mut sim = Simulator::new(net, bus)
+            .expect("valid")
+            .with_config(SimConfig {
+                max_cycles: 100_000,
+                watchdog: 50,
+                scheduler,
+            });
+        match sim.run() {
+            Err(SimError::Deadlock { detail, .. }) => {
+                assert!(detail.contains("buf_a"), "{scheduler:?}: {detail}");
+            }
+            other => panic!("{scheduler:?}: expected deadlock, got {other:?}"),
+        }
+    }
+}

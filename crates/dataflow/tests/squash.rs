@@ -35,7 +35,7 @@ impl Component for ScriptedSquasher {
     fn eval(&self, sig: &mut Signals) {
         sig.accept(self.input);
     }
-    fn commit(&mut self, sig: &Signals) {
+    fn commit(&mut self, sig: &Signals) -> bool {
         if let Some(t) = sig.taken(self.input) {
             self.seen.borrow_mut().push(t);
             if t.tag.iter == self.trigger_at && self.fires < self.max_fires {
@@ -43,6 +43,7 @@ impl Component for ScriptedSquasher {
                 self.bus.post(self.squash_from);
             }
         }
+        false
     }
 }
 
@@ -148,6 +149,7 @@ fn double_squash_converges() {
         .with_config(SimConfig {
             max_cycles: 10_000,
             watchdog: 500,
+            ..SimConfig::default()
         });
     let report = sim.run().expect("completes");
     assert_eq!(report.squashes, 2);

@@ -31,8 +31,13 @@ impl<T> DelayLine<T> {
     /// Advances one cycle, returning all items whose latency elapsed (in
     /// insertion order).
     pub fn tick(&mut self) -> Vec<T> {
+        let mut any = false;
         for (c, _) in self.slots.iter_mut() {
             *c = c.saturating_sub(1);
+            any |= *c == 0;
+        }
+        if !any {
+            return Vec::new();
         }
         let mut done = Vec::new();
         // Items complete in insertion order because latencies are uniform
@@ -47,6 +52,21 @@ impl<T> DelayLine<T> {
         }
         self.slots = remaining;
         done
+    }
+
+    /// True when at least one item would emerge on the next [`tick`]
+    /// (its countdown is already at most one).
+    pub fn due(&self) -> bool {
+        self.slots.iter().any(|(c, _)| *c <= 1)
+    }
+
+    /// Advances one cycle known (via [`due`](DelayLine::due)) to complete
+    /// nothing: pure countdown, no drain, no allocation.
+    pub fn tick_quiet(&mut self) {
+        debug_assert!(!self.due(), "tick_quiet would drop a completed item");
+        for (c, _) in self.slots.iter_mut() {
+            *c = c.saturating_sub(1);
+        }
     }
 
     /// Number of in-flight items.

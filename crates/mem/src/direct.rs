@@ -22,6 +22,9 @@ pub struct DirectMemory {
     timing: MemTiming,
     reads: DelayLine<(usize, usize, prevv_dataflow::Tag)>,
     writes: DelayLine<(usize, prevv_dataflow::Value)>,
+    /// Did the last commit mutate the io adapter — the only state `eval`
+    /// reads? Backs [`Component::eval_invalidated`].
+    eval_dirty: bool,
 }
 
 impl DirectMemory {
@@ -35,6 +38,7 @@ impl DirectMemory {
             timing,
             reads: DelayLine::new(),
             writes: DelayLine::new(),
+            eval_dirty: true,
         };
         (ctrl, ram)
     }
@@ -53,7 +57,10 @@ impl Component for DirectMemory {
         self.io.eval(sig);
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn commit(&mut self, sig: &Signals) -> bool {
+        // In-flight RAM operations ticking below are internal motion even
+        // when no queue changes, so capture it before the drain loops.
+        let ticking = !self.reads.is_empty() || !self.writes.is_empty();
         self.io.commit_io(sig);
 
         // Completions first so a read pushed this cycle waits its full
@@ -104,9 +111,16 @@ impl Component for DirectMemory {
                 }
             }
         }
+        self.eval_dirty = self.io.take_dirty();
+        self.eval_dirty || ticking
+    }
+
+    fn eval_invalidated(&self) -> bool {
+        self.eval_dirty
     }
 
     fn flush(&mut self, from_iter: u64) {
+        self.eval_dirty = true;
         self.io.flush(from_iter);
         self.reads.flush_if(|(_, _, tag)| tag.iter >= from_iter);
         // Writes are not flushed: once issued they are architectural.
@@ -175,6 +189,7 @@ mod tests {
             .with_config(SimConfig {
                 max_cycles: 100_000,
                 watchdog: 500,
+                ..SimConfig::default()
             });
         let report = sim.run().expect("completes");
         let ram = ram.borrow();

@@ -162,6 +162,9 @@ pub struct Lsq {
     stores_per_iter: usize,
     stats: LsqStats,
     shared: SharedLsqStats,
+    /// Did the last commit mutate the io adapter — the only state `eval`
+    /// reads? Backs [`Component::eval_invalidated`].
+    eval_dirty: bool,
 }
 
 impl Lsq {
@@ -216,6 +219,7 @@ impl Lsq {
                 stores_per_iter,
                 stats: LsqStats::default(),
                 shared: stats_handle.clone(),
+                eval_dirty: true,
             },
             ram,
             stats_handle,
@@ -429,7 +433,14 @@ impl Component for Lsq {
         self.io.eval(sig);
     }
 
-    fn commit(&mut self, sig: &Signals) {
+    fn commit(&mut self, sig: &Signals) -> bool {
+        // Occupied delay lines tick below even when nothing else moves, and
+        // queue-length changes catch entry motion that bypasses the io
+        // queues; together with the io dirty flag this is an honest
+        // changed-signal for the scheduler/watchdog (the stats mirror below
+        // is bookkeeping and deliberately excluded).
+        let ticking = !self.alloc_delay.is_empty() || !self.reads.is_empty();
+        let lens = (self.lq.len(), self.sq.len(), self.ready_allocs.len());
         self.io.commit_io(sig);
 
         // Read completions (issued `read_latency` cycles ago).
@@ -459,11 +470,23 @@ impl Component for Lsq {
         self.dealloc_loads();
         self.stats.high_water = self.stats.high_water.max(self.lq.len() + self.sq.len());
         *self.shared.borrow_mut() = self.stats;
+
+        self.eval_dirty = self.io.take_dirty();
+        self.eval_dirty
+            || ticking
+            || !self.alloc_delay.is_empty()
+            || !self.reads.is_empty()
+            || lens != (self.lq.len(), self.sq.len(), self.ready_allocs.len())
+    }
+
+    fn eval_invalidated(&self) -> bool {
+        self.eval_dirty
     }
 
     fn flush(&mut self, from_iter: u64) {
         // The LSQ never speculates, so it never receives a squash in normal
         // operation; this keeps the component well-behaved if one arrives.
+        self.eval_dirty = true;
         self.io.flush(from_iter);
         self.lq.retain(|e| e.iter < from_iter);
         self.sq.retain(|e| e.iter < from_iter);
@@ -506,6 +529,7 @@ mod tests {
             .with_config(SimConfig {
                 max_cycles: 500_000,
                 watchdog: 2_000,
+                ..SimConfig::default()
             });
         let report = sim.run().expect("completes");
         let ram = ram.borrow();

@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new(synth.netlist, synth.bus)?.with_config(SimConfig {
         max_cycles: 50_000,
         watchdog: 2_000,
+        ..SimConfig::default()
     });
     sim.attach_recorder(TraceRecorder::new(watch));
     let report = sim.run()?;

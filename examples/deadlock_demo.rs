@@ -18,6 +18,7 @@ fn main() {
     let sim = SimConfig {
         max_cycles: 200_000,
         watchdog: 1_500,
+        ..SimConfig::default()
     };
 
     println!("guarded kernel, premature queue depth 4\n");

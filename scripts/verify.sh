@@ -209,4 +209,46 @@ tail = f" ({delta:+.1f}% vs previous run)" if prev else " (no previous run to co
 print(f"    {states} states at {best:.0f} states/s" + tail)
 '
 
+echo "==> simulator throughput -> BENCH_sim.json"
+# Engine-only cycles/sec, dense sweep vs event-driven dirty set, on fig2a
+# under the PreVV controller (see crates/bench/benches/sim.rs for the two
+# timing regimes). The bench itself does best-of-5 and cross-checks that
+# both schedulers agree on cycle counts and golden memory images. The gate:
+# the event-driven default must never drop below dense throughput on the
+# latency-bound (dram) workload.
+prev_cps=$(python3 -c '
+import json
+try:
+    doc = json.load(open("BENCH_sim.json"))
+    if doc["workload"] == "fig2a n=256 prevv16, engine-only, best of 5":
+        print(doc["dram_event_cps"])
+    else:
+        print("")
+except Exception:
+    print("")
+' 2>/dev/null || true)
+out=$(cargo bench -q -p prevv-bench --bench sim 2>/dev/null | grep '^BENCH_SIM_JSON ')
+echo "${out#BENCH_SIM_JSON }" | PREV_CPS="$prev_cps" python3 -c '
+import json, os, sys
+doc = json.load(sys.stdin)
+dense, event = doc["dram_dense_cps"], doc["dram_event_cps"]
+if event < dense:
+    sys.exit(f"event-driven scheduler slower than dense on the latency-bound "
+             f"workload: {event:.0f} < {dense:.0f} cycles/s")
+prev = os.environ.get("PREV_CPS") or ""
+bench = {"bench": "sim"}
+bench.update(doc)
+bench["dram_event_cps_prev"] = float(prev) if prev else None
+bench["dram_event_cps_delta_pct"] = (
+    round((event / float(prev) - 1.0) * 100, 1) if prev else None)
+with open("BENCH_sim.json", "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+delta = bench["dram_event_cps_delta_pct"]
+tail = (f" ({delta:+.1f}% vs previous run)" if prev
+        else " (no previous run to compare)")
+print(f"    dram: dense {dense:.0f} c/s, event {event:.0f} c/s "
+      f"({event / dense:.2f}x)" + tail)
+'
+
 echo "verify: OK"

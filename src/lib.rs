@@ -41,7 +41,7 @@ pub use prevv_analyze::{
 };
 pub use prevv_area::{ControllerKind, DesignReport, Resources};
 pub use prevv_core::{PrevvConfig, PrevvError, PrevvMemory, PrevvStats, SquashEvent};
-pub use prevv_dataflow::{SimConfig, SimError, SimReport, Simulator, Value};
+pub use prevv_dataflow::{Scheduler, SimConfig, SimError, SimReport, Simulator, Value};
 pub use prevv_ir::{KernelError, KernelSpec, SynthOptions};
 pub use prevv_mem::{Lsq, LsqConfig, LsqError, LsqStats, MemTiming};
 
