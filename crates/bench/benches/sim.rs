@@ -25,12 +25,20 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prevv::kernels::extra;
+use prevv::kernels::gen::{generate, GenConfig};
 use prevv::{
     run_kernel_with, Controller, KernelSpec, MemTiming, PrevvConfig, PrevvMemory, Scheduler,
     SimConfig, Simulator, SynthOptions,
 };
 
 const N: i64 = 256;
+
+/// Pinned seeds for the generated-kernel sweep (the `--fuzz` corpus base
+/// seed, then successors): irregular multi-loop shapes the hand-written
+/// fig2a regimes never exercise, so the event-vs-dense gate also covers
+/// triangular nests, indirect addressing, and uneven dirty sets.
+const GEN_SEED_BASE: u64 = 0x0e1e_5c70_ad89_5542; // fnv("0xPREVV")
+const GEN_KERNELS: u64 = 8;
 
 /// On-chip timing, aliasing-heavy indices: the busy regime.
 fn bram_workload() -> (KernelSpec, PrevvConfig) {
@@ -59,6 +67,29 @@ fn dram_workload() -> (KernelSpec, PrevvConfig) {
         write_ports: 1,
     };
     (extra::fig2a(N, b), config)
+}
+
+/// Generated-kernel sweep: `GEN_KERNELS` irregular shapes from the fuzzer's
+/// bench profile, each under the latency-bound regime (external-memory
+/// timing, forwarding off) where the dirty-set scheduler has to earn its
+/// keep on loop nests it has never seen hand-tuned.
+fn gen_workloads() -> Vec<(KernelSpec, PrevvConfig)> {
+    let cfg = GenConfig::bench();
+    (0..GEN_KERNELS)
+        .map(|i| {
+            let spec = generate(GEN_SEED_BASE.wrapping_add(i), &cfg);
+            let depth = 16.max(spec.mem_ops_per_iter());
+            let mut config = PrevvConfig::with_depth(depth);
+            config.forwarding = false;
+            config.timing = MemTiming {
+                read_latency: 200,
+                write_latency: 100,
+                read_ports: 1,
+                write_ports: 1,
+            };
+            (spec, config)
+        })
+        .collect()
 }
 
 /// One engine run under `scheduler`, timing `Simulator::run` only.
@@ -123,6 +154,28 @@ fn check_workload(spec: &KernelSpec, config: &PrevvConfig) -> u64 {
     cycles.expect("both schedulers ran")
 }
 
+/// Best-of-3 aggregate cycles/second over the whole generated sweep (one
+/// timing sample = every sweep kernel back to back, so slow shapes cannot
+/// hide behind fast ones).
+fn sweep_cycles_per_sec(
+    workloads: &[(KernelSpec, PrevvConfig)],
+    scheduler: Scheduler,
+) -> (u64, f64) {
+    let mut best = 0.0f64;
+    let mut total_cycles = 0u64;
+    for _ in 0..3 {
+        total_cycles = 0;
+        let mut total_secs = 0.0f64;
+        for (spec, config) in workloads {
+            let (c, secs) = run_once(spec, config, scheduler);
+            total_cycles += c;
+            total_secs += secs;
+        }
+        best = best.max(total_cycles as f64 / total_secs);
+    }
+    (total_cycles, best)
+}
+
 fn bench_schedulers(c: &mut Criterion) {
     let (spec, config) = dram_workload();
     let mut g = c.benchmark_group("sim_cycles_per_sec");
@@ -151,13 +204,30 @@ fn emit_summary(_c: &mut Criterion) {
     let (c, dram_event) = best_cycles_per_sec(&dram_spec, &dram_config, Scheduler::EventDriven);
     assert_eq!(c, dram_cycles);
 
+    // Generated-kernel sweep: correctness-check every shape untimed, then
+    // time the aggregate under each scheduler.
+    let sweep = gen_workloads();
+    let mut gen_cycles = 0u64;
+    for (spec, config) in &sweep {
+        gen_cycles += check_workload(spec, config);
+    }
+    let (c, gen_dense) = sweep_cycles_per_sec(&sweep, Scheduler::Dense);
+    assert_eq!(c, gen_cycles);
+    let (c, gen_event) = sweep_cycles_per_sec(&sweep, Scheduler::EventDriven);
+    assert_eq!(c, gen_cycles);
+
     let speedup = dram_event / dram_dense;
+    let gen_speedup = gen_event / gen_dense;
     println!(
         "BENCH_SIM_JSON {{\"workload\": \"fig2a n=256 prevv16, engine-only, best of 5\", \
          \"bram_cycles\": {bram_cycles}, \"bram_dense_cps\": {bram_dense:.0}, \
          \"bram_event_cps\": {bram_event:.0}, \
          \"dram_cycles\": {dram_cycles}, \"dram_dense_cps\": {dram_dense:.0}, \
-         \"dram_event_cps\": {dram_event:.0}, \"event_speedup\": {speedup:.2}}}"
+         \"dram_event_cps\": {dram_event:.0}, \"event_speedup\": {speedup:.2}, \
+         \"gen_workload\": \"fuzz bench profile x{GEN_KERNELS} seed 0xPREVV, \
+         dram timing, best of 3\", \
+         \"gen_cycles\": {gen_cycles}, \"gen_dense_cps\": {gen_dense:.0}, \
+         \"gen_event_cps\": {gen_event:.0}, \"gen_event_speedup\": {gen_speedup:.2}}}"
     );
 }
 

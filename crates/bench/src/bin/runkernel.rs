@@ -9,8 +9,18 @@
 //!     kernels/histogram.pvk --controller prevv16 --dot /tmp/c.dot --vcd /tmp/c.vcd
 //! ```
 //!
-//! Controllers: `direct`, `dynamatic16`, `fast16`, `prevv<depth>` (e.g.
-//! `prevv16`, `prevv64`, `prevv32`).
+//! Controllers: `direct`, `dynamatic16`, `fast16`, `spec<depth>`,
+//! `prevv<depth>` (e.g. `prevv16`, `prevv64`, `spec16`).
+//!
+//! Fuzz mode (`--fuzz N [--seed S]`) needs no kernel file: it generates `N`
+//! kernels from the seed (`prevv_kernels::gen`), runs each through the
+//! cross-backend differential oracle (`prevv::diffcheck`), and on the first
+//! failure shrinks the kernel to a minimal reproducer and writes its `.pvk`
+//! (`--repro`, default `target/fuzz_repro.pvk`). `--seed` accepts decimal,
+//! `0x`-hex, or any other string (hashed deterministically — `0xPREVV`
+//! works). `--corpus-out DIR` additionally writes every generated kernel
+//! plus a `digests.tsv` of per-backend outcome digests, which is how
+//! `tests/fuzz_corpus/` is (re)pinned.
 
 use prevv::dataflow::trace::{to_vcd, TraceRecorder};
 use prevv::dataflow::{sweep, viz, Scheduler, SimConfig, Simulator};
@@ -18,7 +28,7 @@ use prevv::{Controller, Lsq, LsqConfig, MemTiming, PrevvConfig, PrevvMemory};
 use rand::{Rng, SeedableRng};
 
 struct Args {
-    path: String,
+    path: Option<String>,
     controller: Controller,
     protocol: bool,
     mc_threads: usize,
@@ -30,14 +40,19 @@ struct Args {
     depths: Vec<usize>,
     seeds: u64,
     threads: usize,
+    fuzz: Option<usize>,
+    fuzz_seed: u64,
+    repro: String,
+    corpus_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: runkernel <file.pvk> [--controller direct|dynamatic16|fast16|prevv<depth>] \
+        "usage: runkernel <file.pvk> [--controller direct|dynamatic16|fast16|spec<depth>|prevv<depth>] \
          [--protocol] [--mc-threads <n>] [--stats] [--dot <out.dot>] [--vcd <out.vcd>] \
          [--scheduler dense|event] \
-         [--sweep [--depths <d,d,...>] [--seeds <n>] [--threads <n>]]"
+         [--sweep [--depths <d,d,...>] [--seeds <n>] [--threads <n>]]\n\
+       runkernel --fuzz <n> [--seed <seed>] [--repro <out.pvk>] [--corpus-out <dir>]"
     );
     std::process::exit(2);
 }
@@ -63,6 +78,10 @@ fn parse_args() -> Args {
     let mut depths = SWEEP_DEPTHS.to_vec();
     let mut seeds = 1u64;
     let mut threads = 0usize;
+    let mut fuzz = None;
+    let mut fuzz_seed = 0u64;
+    let mut repro = String::from("target/fuzz_repro.pvk");
+    let mut corpus_out = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--protocol" => protocol = true,
@@ -79,10 +98,18 @@ fn parse_args() -> Args {
                     "direct" => Controller::Direct,
                     "dynamatic16" => Controller::Dynamatic { depth: 16 },
                     "fast16" => Controller::FastLsq { depth: 16 },
-                    other => match other.strip_prefix("prevv").and_then(|d| d.parse().ok()) {
-                        Some(depth) => Controller::Prevv(PrevvConfig::with_depth(depth)),
-                        None => usage(),
-                    },
+                    other => {
+                        if let Some(depth) = other.strip_prefix("spec").and_then(|d| d.parse().ok())
+                        {
+                            Controller::SpecLsq { depth }
+                        } else if let Some(depth) =
+                            other.strip_prefix("prevv").and_then(|d| d.parse().ok())
+                        {
+                            Controller::Prevv(PrevvConfig::with_depth(depth))
+                        } else {
+                            usage()
+                        }
+                    }
                 };
             }
             "--scheduler" => {
@@ -119,14 +146,28 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage());
             }
+            "--fuzz" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                fuzz = Some(n);
+            }
+            "--seed" => fuzz_seed = parse_seed(&args.next().unwrap_or_else(|| usage())),
+            "--repro" => repro = args.next().unwrap_or_else(|| usage()),
+            "--corpus-out" => corpus_out = Some(args.next().unwrap_or_else(|| usage())),
             "--dot" => dot = Some(args.next().unwrap_or_else(|| usage())),
             "--vcd" => vcd = Some(args.next().unwrap_or_else(|| usage())),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             _ => usage(),
         }
     }
+    if path.is_none() && fuzz.is_none() {
+        usage();
+    }
     Args {
-        path: path.unwrap_or_else(|| usage()),
+        path,
         controller,
         protocol,
         mc_threads,
@@ -138,7 +179,30 @@ fn parse_args() -> Args {
         depths,
         seeds,
         threads,
+        fuzz,
+        fuzz_seed,
+        repro,
+        corpus_out,
     }
+}
+
+/// `--seed` accepts decimal, `0x`-hex, or any other string, which is hashed
+/// (FNV-1a) so mnemonic seeds like `0xPREVV` are valid and deterministic.
+fn parse_seed(s: &str) -> u64 {
+    if let Ok(v) = s.parse::<u64>() {
+        return v;
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
 }
 
 /// Deterministic RAM-timing perturbation for the `--sweep` seed axis: seed 0
@@ -233,23 +297,136 @@ fn run_sweep(spec: &prevv::KernelSpec, args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// Derives the i-th kernel seed from the base fuzz seed (splitmix64 mix —
+/// adjacent base seeds give unrelated streams).
+fn kernel_seed(base: u64, i: u64) -> u64 {
+    let mut z = base ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `--fuzz N`: generate N kernels, run each through the differential
+/// oracle, shrink and dump a `.pvk` reproducer on the first failure. With
+/// `--corpus-out DIR`, also write every kernel and a digest manifest (the
+/// pinned-corpus (re)generation path).
+fn run_fuzz(count: usize, args: &Args) -> ! {
+    use prevv::diffcheck::{check_kernel, DiffOptions};
+    use prevv::kernels::gen;
+
+    let opts = DiffOptions::default();
+    // Corpus kernels stay small so the offline replay test is cheap.
+    let cfg = if args.corpus_out.is_some() {
+        gen::GenConfig::corpus()
+    } else {
+        gen::GenConfig::default()
+    };
+    println!(
+        "fuzz: {count} kernel(s) from seed {:#x} ({} profile)",
+        args.fuzz_seed,
+        if args.corpus_out.is_some() {
+            "corpus"
+        } else {
+            "default"
+        }
+    );
+    // The oracle catches panics itself; silence the default hook so a
+    // caught panic does not spray a backtrace per probe.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut manifest = String::new();
+    for i in 0..count {
+        let seed = kernel_seed(args.fuzz_seed, i as u64);
+        let spec = gen::generate(seed, &cfg);
+        let verdict = check_kernel(&spec, &opts);
+        if !verdict.passed() {
+            fail_and_shrink(&spec, seed, &verdict, &opts, args);
+        }
+        if let Some(dir) = &args.corpus_out {
+            let file = format!("gen_{i:02}.pvk");
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(format!("{dir}/{file}"), prevv::ir::pretty::render(&spec))
+            }) {
+                eprintln!("cannot write corpus kernel {file}: {e}");
+                std::process::exit(1);
+            }
+            for (backend, digest) in &verdict.digests {
+                manifest.push_str(&format!("{file}\t{backend}\t{digest:#018x}\n"));
+            }
+        }
+        if (i + 1) % 25 == 0 || i + 1 == count {
+            eprintln!("fuzz: {}/{count} ok", i + 1);
+        }
+    }
+    let _ = std::panic::take_hook();
+    if let Some(dir) = &args.corpus_out {
+        if let Err(e) = std::fs::write(format!("{dir}/digests.tsv"), manifest) {
+            eprintln!("cannot write digest manifest: {e}");
+            std::process::exit(1);
+        }
+        println!("fuzz: corpus written to {dir}");
+    }
+    println!("fuzz: {count}/{count} kernel(s) passed the differential oracle");
+    std::process::exit(0);
+}
+
+/// Prints the verdict, greedily shrinks the kernel while the same failure
+/// kind reproduces, writes the minimal `.pvk`, and exits nonzero.
+fn fail_and_shrink(
+    spec: &prevv::KernelSpec,
+    seed: u64,
+    verdict: &prevv::diffcheck::KernelVerdict,
+    opts: &prevv::diffcheck::DiffOptions,
+    args: &Args,
+) -> ! {
+    use prevv::diffcheck::check_kernel;
+    use prevv::kernels::gen;
+
+    eprintln!("fuzz: kernel seed {seed:#x} (`{}`) FAILED:", verdict.name);
+    for f in &verdict.failures {
+        eprintln!("  {f}");
+    }
+    let kind = verdict.failures[0].kind.clone();
+    eprintln!("fuzz: shrinking against {kind:?} (budget 200 oracle runs)…");
+    let small = gen::shrink_to_fixpoint(spec, 200, |c| {
+        check_kernel(c, opts)
+            .failures
+            .iter()
+            .any(|f| f.kind == kind)
+    });
+    let _ = std::panic::take_hook();
+    let text = prevv::ir::pretty::render(&small);
+    if let Some(parent) = std::path::Path::new(&args.repro).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&args.repro, &text) {
+        Ok(()) => eprintln!("fuzz: minimal reproducer written to {}", args.repro),
+        Err(e) => eprintln!("fuzz: cannot write reproducer {}: {e}", args.repro),
+    }
+    eprintln!("--- reproducer ---\n{text}");
+    std::process::exit(3);
+}
+
 fn main() {
     let args = parse_args();
-    let source = match std::fs::read_to_string(&args.path) {
+    if let Some(n) = args.fuzz {
+        run_fuzz(n, &args);
+    }
+    let kpath = args.path.clone().unwrap_or_else(|| usage());
+    let source = match std::fs::read_to_string(&kpath) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot read {}: {e}", args.path);
+            eprintln!("cannot read {kpath}: {e}");
             std::process::exit(1);
         }
     };
-    let name = std::path::Path::new(&args.path)
+    let name = std::path::Path::new(&kpath)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("kernel");
     let spec = match prevv::ir::parse::parse_kernel(name, &source) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("{}", e.render(&args.path, &source));
+            eprintln!("{}", e.render(&kpath, &source));
             std::process::exit(1);
         }
     };
@@ -265,7 +442,7 @@ fn main() {
     if lint.is_empty() {
         println!("lint: clean\n");
     } else {
-        println!("{}", lint.render(&args.path, Some(&source)));
+        println!("{}", lint.render(&kpath, Some(&source)));
     }
     if lint.has_errors() {
         eprintln!("refusing to synthesize: static analysis reported errors");
@@ -314,7 +491,7 @@ fn main() {
                     result.stats.threads
                 );
                 if !result.report.is_empty() {
-                    println!("{}", result.report.render(&args.path, Some(&source)));
+                    println!("{}", result.report.render(&kpath, Some(&source)));
                 }
                 if result.report.has_errors() {
                     eprintln!("refusing to simulate: protocol model checker reported errors");
@@ -346,7 +523,7 @@ fn main() {
         },
     );
     if !circuit_lint.is_empty() {
-        println!("{}", circuit_lint.render(&args.path, Some(&source)));
+        println!("{}", circuit_lint.render(&kpath, Some(&source)));
     }
     if circuit_lint.has_errors() {
         eprintln!("refusing to attach controller: circuit lints reported errors");
@@ -377,7 +554,7 @@ fn main() {
                 &mut perf_report,
             );
             if !perf_report.is_empty() {
-                println!("{}", perf_report.render(&args.path, Some(&source)));
+                println!("{}", perf_report.render(&kpath, Some(&source)));
             }
             Some(summary)
         }
@@ -424,6 +601,18 @@ fn main() {
                     std::process::exit(1);
                 });
             synth.netlist.add("lsq", c);
+            ram
+        }
+        Controller::SpecLsq { depth } => {
+            let (c, ram) = prevv::mem::SpecLsq::new(
+                synth.interface.clone(),
+                prevv::mem::SpecLsqConfig::speculative(*depth),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            synth.netlist.add("spec_lsq", c);
             ram
         }
         Controller::Prevv(cfg) => {
@@ -517,7 +706,7 @@ fn main() {
         if let Some(d) = prevv::analyze::check_measured(summary, report.cycles) {
             let mut r = prevv::analyze::diag::Report::default();
             r.push(d);
-            println!("{}", r.render(&args.path, Some(&source)));
+            println!("{}", r.render(&kpath, Some(&source)));
         }
     }
     if args.stats && !report.stalled_channels.is_empty() {

@@ -8,11 +8,15 @@ use prevv::{
     RunError, SimConfig, SynthOptions,
 };
 
-/// The four configurations of the paper's Tables I/II, in column order.
+/// The four configurations of the paper's Tables I/II, in column order,
+/// plus the speculative-allocation LSQ (`spec16`, modeled after
+/// Szafarczyk et al. FPL'23) — not a paper column, but reported alongside
+/// them in the regenerated tables as the strongest LSQ baseline.
 pub fn configs() -> Vec<(String, Controller)> {
     vec![
         ("[15]".into(), Controller::Dynamatic { depth: 16 }),
         ("[8]".into(), Controller::FastLsq { depth: 16 }),
+        ("spec16".into(), Controller::SpecLsq { depth: 16 }),
         ("PreVV16".into(), Controller::Prevv(PrevvConfig::prevv16())),
         ("PreVV64".into(), Controller::Prevv(PrevvConfig::prevv64())),
     ]

@@ -570,15 +570,12 @@ impl<'a> Parser<'a> {
             return Ok(e);
         }
         let name = self.ident()?;
-        // Opaque runtime function: h<seed>_<modulus>(expr).
-        if let Some(spec) = parse_opaque_name(&name) {
-            self.expect("(")?;
-            let arg = self.parse_expr(arrays, loop_vars)?;
-            self.expect(")")?;
-            return Ok(arg.opaque(spec));
-        }
         self.skip_ws();
-        if self.rest().starts_with('[') {
+        // A declared array shadows everything else: an array that happens to
+        // be named like an opaque function (`int h3_8[4];`) must still parse
+        // as an array access, matching what `pretty::render` emits.
+        let is_array = arrays.iter().any(|(n, _)| n == &name);
+        if is_array && self.rest().starts_with('[') {
             let array = self.array_id(arrays, &name)?;
             self.expect("[")?;
             let idx = self.parse_expr(arrays, loop_vars)?;
@@ -586,6 +583,30 @@ impl<'a> Parser<'a> {
             // Record after any inner loads, matching `Expr::loads` order.
             self.load_spans.push(Span::new(primary_start, self.pos));
             return Ok(Expr::load(array, idx));
+        }
+        if !is_array && self.rest().starts_with('(') {
+            // Opaque runtime function: h<seed>_<modulus>(expr).
+            if let Some(spec) = parse_opaque_name(&name) {
+                self.expect("(")?;
+                let arg = self.parse_expr(arrays, loop_vars)?;
+                self.expect(")")?;
+                return Ok(arg.opaque(spec));
+            }
+            // min(x, y) / max(x, y) — the spelling `pretty::render` uses
+            // for `BinOp::Min`/`BinOp::Max`.
+            if name == "min" || name == "max" {
+                let op = if name == "min" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
+                self.expect("(")?;
+                let lhs = self.parse_expr(arrays, loop_vars)?;
+                self.expect(",")?;
+                let rhs = self.parse_expr(arrays, loop_vars)?;
+                self.expect(")")?;
+                return Ok(Expr::bin(op, lhs, rhs));
+            }
         }
         if let Some(level) = loop_vars.iter().position(|v| *v == name) {
             return Ok(Expr::var(level));

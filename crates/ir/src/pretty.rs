@@ -46,6 +46,12 @@ pub fn render(spec: &KernelSpec) -> String {
             }
         }
     }
+    // The depth_q directive is configuration the file was authored for;
+    // dropping it here would silently strip the pinned depth on every
+    // render -> parse round trip.
+    if let Some((depth, _)) = spec.depth_hint() {
+        let _ = writeln!(out, "depth_q = {depth};");
+    }
     let names = ["i", "j", "k", "l", "m", "n"];
     for (lvl, level) in spec.levels.iter().enumerate() {
         let v = names.get(lvl).copied().unwrap_or("v");
@@ -174,6 +180,74 @@ mod tests {
         assert!(src.contains("for (int j = i + 1; j < 4; ++j) {"));
         assert!(src.contains("if ((j > 2)) a[((i * 4) + j)] = 1;"));
         assert_eq!(src.matches('}').count(), 2);
+    }
+
+    /// Strips the leading `// kernel:` line so the text can be re-parsed.
+    fn reparse(name: &str, src: &str) -> KernelSpec {
+        let body: String = src.lines().skip(1).collect::<Vec<_>>().join("\n");
+        crate::parse::parse_kernel(name, &body).expect("round-trips")
+    }
+
+    #[test]
+    fn depth_hint_round_trips() {
+        let a = ArrayId(0);
+        let k = KernelSpec::new(
+            "pinned",
+            vec![LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 8)],
+            vec![Stmt::store(a, Expr::var(0), Expr::lit(1))],
+        )
+        .expect("valid")
+        .with_depth_hint(32, crate::span::Span::point(0));
+        let src = render(&k);
+        assert!(src.contains("depth_q = 32;"), "{src}");
+        let reparsed = reparse("pinned", &src);
+        assert_eq!(reparsed.depth_hint().map(|(d, _)| d), Some(32));
+    }
+
+    #[test]
+    fn array_named_like_opaque_round_trips() {
+        // An array whose name matches the `h<seed>_<modulus>` opaque spelling
+        // must still parse as an array access.
+        let a = ArrayId(0);
+        let k = KernelSpec::new(
+            "shadow",
+            vec![LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("h3_8", 8)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0),
+                Expr::load(a, Expr::var(0)).add(Expr::lit(1)),
+            )],
+        )
+        .expect("valid");
+        let src = render(&k);
+        let reparsed = reparse("shadow", &src);
+        assert_eq!(k, reparsed);
+    }
+
+    #[test]
+    fn min_max_round_trip() {
+        let a = ArrayId(0);
+        let k = KernelSpec::new(
+            "clamp",
+            vec![LoopLevel::upto(4)],
+            vec![ArrayDecl::zeroed("a", 8)],
+            vec![Stmt::store(
+                a,
+                Expr::var(0),
+                Expr::bin(
+                    BinOp::Max,
+                    Expr::lit(0),
+                    Expr::bin(BinOp::Min, Expr::var(0), Expr::lit(3)),
+                ),
+            )],
+        )
+        .expect("valid");
+        let src = render(&k);
+        assert!(src.contains("max(0, min(i, 3))"), "{src}");
+        let reparsed = reparse("clamp", &src);
+        assert_eq!(k, reparsed);
     }
 
     #[test]

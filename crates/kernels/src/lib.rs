@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod extra;
+pub mod gen;
 pub mod paper;
 pub mod suite;
 pub mod workload;

@@ -46,12 +46,14 @@ mod direct;
 mod lsq;
 mod portio;
 mod ram;
+mod spec_alloc;
 
 pub use delay::DelayLine;
 pub use direct::DirectMemory;
 pub use lsq::{Lsq, LsqConfig, LsqError, LsqStats, SharedLsqStats};
 pub use portio::{PortIo, DEFAULT_IO_CAPACITY};
 pub use ram::{shared, Ram, SharedRam};
+pub use spec_alloc::{SpecLsq, SpecLsqConfig, SpecStats};
 
 /// RAM timing and port bandwidth shared by all controllers.
 ///

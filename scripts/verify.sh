@@ -11,6 +11,18 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> differential fuzz oracle (200 generated kernels, pinned seed)"
+# Every generated kernel must agree byte-for-byte across the golden
+# interpreter, both schedulers, and all four memory subsystems, with
+# lint/model-check verdicts consistent with observed behavior. On failure
+# runkernel shrinks the offender and writes the minimal reproducer to
+# target/fuzz_repro.pvk (uploaded as a CI artifact).
+if ! ./target/release/runkernel --fuzz 200 --seed 0xPREVV \
+    --repro target/fuzz_repro.pvk; then
+  echo "error: fuzz oracle failed; shrunk reproducer at target/fuzz_repro.pvk" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -215,7 +227,8 @@ echo "==> simulator throughput -> BENCH_sim.json"
 # timing regimes). The bench itself does best-of-5 and cross-checks that
 # both schedulers agree on cycle counts and golden memory images. The gate:
 # the event-driven default must never drop below dense throughput on the
-# latency-bound (dram) workload.
+# latency-bound (dram) workload, nor on the generated-kernel sweep
+# (irregular fuzzer shapes under the same timing regime).
 prev_cps=$(python3 -c '
 import json
 try:
@@ -235,6 +248,10 @@ dense, event = doc["dram_dense_cps"], doc["dram_event_cps"]
 if event < dense:
     sys.exit(f"event-driven scheduler slower than dense on the latency-bound "
              f"workload: {event:.0f} < {dense:.0f} cycles/s")
+gdense, gevent = doc["gen_dense_cps"], doc["gen_event_cps"]
+if gevent < gdense:
+    sys.exit(f"event-driven scheduler slower than dense on the generated "
+             f"sweep: {gevent:.0f} < {gdense:.0f} cycles/s")
 prev = os.environ.get("PREV_CPS") or ""
 bench = {"bench": "sim"}
 bench.update(doc)
@@ -249,6 +266,8 @@ tail = (f" ({delta:+.1f}% vs previous run)" if prev
         else " (no previous run to compare)")
 print(f"    dram: dense {dense:.0f} c/s, event {event:.0f} c/s "
       f"({event / dense:.2f}x)" + tail)
+print(f"    gen sweep: dense {gdense:.0f} c/s, event {gevent:.0f} c/s "
+      f"({gevent / gdense:.2f}x)")
 '
 
 echo "verify: OK"

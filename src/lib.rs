@@ -36,6 +36,8 @@
 
 use std::fmt;
 
+pub mod diffcheck;
+
 pub use prevv_analyze::{
     AnalyzeError, AnalyzeOptions, CircuitOptions, ControllerModel, Diagnostic, Report, Severity,
 };
@@ -43,7 +45,7 @@ pub use prevv_area::{ControllerKind, DesignReport, Resources};
 pub use prevv_core::{PrevvConfig, PrevvError, PrevvMemory, PrevvStats, SquashEvent};
 pub use prevv_dataflow::{Scheduler, SimConfig, SimError, SimReport, Simulator, Value};
 pub use prevv_ir::{KernelError, KernelSpec, SynthOptions};
-pub use prevv_mem::{Lsq, LsqConfig, LsqError, LsqStats, MemTiming};
+pub use prevv_mem::{Lsq, LsqConfig, LsqError, LsqStats, MemTiming, SpecLsq, SpecLsqConfig};
 
 /// Static analysis (lints) over kernels.
 pub use prevv_analyze as analyze;
@@ -75,6 +77,11 @@ pub enum Controller {
         /// Load/store queue depth.
         depth: usize,
     },
+    /// Speculative-allocation LSQ (Szafarczyk et al., FPL'23).
+    SpecLsq {
+        /// Load/store queue depth (also the speculation window).
+        depth: usize,
+    },
     /// Premature value validation (this paper).
     Prevv(PrevvConfig),
 }
@@ -86,6 +93,7 @@ impl Controller {
             Controller::Direct => "direct".into(),
             Controller::Dynamatic { .. } => "[15]".into(),
             Controller::FastLsq { .. } => "[8]".into(),
+            Controller::SpecLsq { depth } => format!("spec{depth}"),
             Controller::Prevv(c) => format!("PreVV{}", c.depth),
         }
     }
@@ -95,7 +103,9 @@ impl Controller {
     pub fn circuit_model(&self) -> ControllerModel {
         match self {
             Controller::Direct => ControllerModel::Direct,
-            Controller::Dynamatic { depth } | Controller::FastLsq { depth } => {
+            Controller::Dynamatic { depth }
+            | Controller::FastLsq { depth }
+            | Controller::SpecLsq { depth } => {
                 // An LSQ holds `depth` loads plus `depth` stores.
                 ControllerModel::Queue {
                     capacity: 2 * depth,
@@ -111,6 +121,11 @@ impl Controller {
             Controller::Direct => None,
             Controller::Dynamatic { depth } => Some(ControllerKind::Dynamatic { depth: *depth }),
             Controller::FastLsq { depth } => Some(ControllerKind::FastLsq { depth: *depth }),
+            // The speculative-allocation LSQ keeps the fast-allocation
+            // queue structure (same CAMs and encoders) and only moves the
+            // allocator off the critical path, so its resource model is
+            // priced as the fast LSQ of the same depth.
+            Controller::SpecLsq { depth } => Some(ControllerKind::FastLsq { depth: *depth }),
             Controller::Prevv(c) => Some(ControllerKind::Prevv {
                 depth: c.depth,
                 pair_reduction: c.pair_reduction,
@@ -257,6 +272,15 @@ pub fn run_kernel_with(
             let (ctrl, ram, stats) =
                 Lsq::with_stats(synth.interface.clone(), LsqConfig::fast(*depth))?;
             synth.netlist.add("lsq", ctrl);
+            lsq_stats = Some(stats);
+            ram
+        }
+        Controller::SpecLsq { depth } => {
+            let (ctrl, ram, stats) = prevv_mem::SpecLsq::with_stats(
+                synth.interface.clone(),
+                prevv_mem::SpecLsqConfig::speculative(*depth),
+            )?;
+            synth.netlist.add("spec_lsq", ctrl);
             lsq_stats = Some(stats);
             ram
         }
@@ -409,6 +433,7 @@ mod tests {
         for ctrl in [
             Controller::Dynamatic { depth: 16 },
             Controller::FastLsq { depth: 16 },
+            Controller::SpecLsq { depth: 16 },
             Controller::Prevv(PrevvConfig::prevv16()),
             Controller::Prevv(PrevvConfig::prevv64()),
         ] {

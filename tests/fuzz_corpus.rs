@@ -1,0 +1,99 @@
+//! Offline replay of the pinned fuzz corpus.
+//!
+//! `tests/fuzz_corpus/` holds 32 generator-produced kernels (as `.pvk`
+//! text) plus `digests.tsv`, a manifest of the expected outcome digest for
+//! every `(kernel, backend/scheduler)` pair, produced by
+//! `runkernel --fuzz 32 --seed 0xPREVV --corpus-out tests/fuzz_corpus`.
+//!
+//! This test replays the corpus through the differential oracle *without
+//! the generator*: it parses the committed text, re-runs every backend
+//! under both schedulers, and compares digests against the manifest. Any
+//! engine, controller, scheduler, or parser change that shifts observable
+//! behavior on these shapes fails here, offline and deterministically.
+//! To re-pin after an intentional change, rerun the command above.
+//!
+//! The corpus is replayed in four shards so `cargo test` runs them in
+//! parallel.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use prevv::diffcheck::{check_kernel, DiffOptions};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fuzz_corpus"))
+}
+
+/// Expected digests per kernel file, label-ordered as emitted.
+fn manifest() -> BTreeMap<String, Vec<(String, u64)>> {
+    let text = std::fs::read_to_string(corpus_dir().join("digests.tsv"))
+        .expect("tests/fuzz_corpus/digests.tsv exists");
+    let mut out: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let mut cols = line.split('\t');
+        let (file, backend, digest) = (
+            cols.next().expect("file column"),
+            cols.next().expect("backend column"),
+            cols.next().expect("digest column"),
+        );
+        let digest =
+            u64::from_str_radix(digest.strip_prefix("0x").expect("0x-prefixed digest"), 16)
+                .expect("hex digest");
+        out.entry(file.to_string())
+            .or_default()
+            .push((backend.to_string(), digest));
+    }
+    assert_eq!(out.len(), 32, "corpus holds 32 pinned kernels");
+    out
+}
+
+fn replay_shard(shard: usize, shards: usize) {
+    let manifest = manifest();
+    for (i, (file, expected)) in manifest.iter().enumerate() {
+        if i % shards != shard {
+            continue;
+        }
+        let path = corpus_dir().join(file);
+        let source =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let name = file.trim_end_matches(".pvk");
+        let spec = prevv::ir::parse::parse_kernel(name, &source)
+            .unwrap_or_else(|e| panic!("{file} no longer parses: {e}"));
+        let verdict = check_kernel(&spec, &DiffOptions::default());
+        assert!(
+            verdict.passed(),
+            "{file} violates the oracle contract: {:?}",
+            verdict
+                .failures
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            &verdict.digests, expected,
+            "{file}: digests drifted from the pinned manifest \
+             (re-pin with `runkernel --fuzz 32 --seed 0xPREVV --corpus-out tests/fuzz_corpus` \
+             if the change is intentional)"
+        );
+    }
+}
+
+#[test]
+fn corpus_shard_0_replays() {
+    replay_shard(0, 4);
+}
+
+#[test]
+fn corpus_shard_1_replays() {
+    replay_shard(1, 4);
+}
+
+#[test]
+fn corpus_shard_2_replays() {
+    replay_shard(2, 4);
+}
+
+#[test]
+fn corpus_shard_3_replays() {
+    replay_shard(3, 4);
+}

@@ -1,0 +1,95 @@
+//! Pinned shrunk counterexamples, replayed through the full differential
+//! oracle.
+//!
+//! `tests/properties.proptest-regressions` records two historical shrink
+//! results from the property tests. The offline `compat` proptest shim
+//! never reads regression files, so those entries are inert — they would
+//! silently mask the cases they were meant to pin. Each entry is therefore
+//! reconstructed here verbatim as an explicit `KernelSpec` and run through
+//! `prevv::diffcheck::check_kernel`, which is strictly stronger than the
+//! property that originally failed (it adds round-trip, lint/model-check
+//! consistency, the speculative LSQ backend, and both schedulers).
+
+use prevv::dataflow::components::LoopLevel;
+use prevv::diffcheck::{check_kernel, DiffOptions};
+use prevv::ir::{ArrayDecl, ArrayId, BinOp, Expr, KernelSpec, OpaqueFn, Stmt};
+
+fn oracle_must_pass(spec: &KernelSpec) {
+    let opts = DiffOptions {
+        // These shrunk specs predate the generator's lint-clean guarantee;
+        // the contract under test is behavioral agreement, not lint purity.
+        expect_lint_clean: false,
+        ..DiffOptions::default()
+    };
+    let verdict = check_kernel(spec, &opts);
+    assert!(
+        verdict.passed(),
+        "{}: pinned regression violates the oracle: {:?}",
+        spec.name,
+        verdict
+            .failures
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+}
+
+/// First `properties.proptest-regressions` entry: a guarded and an
+/// unguarded store to the same indirectly-addressed cell in one iteration.
+/// Historically shrunk from a cross-controller divergence hunt.
+#[test]
+fn pinned_guarded_indirect_double_store() {
+    let a = ArrayId(0);
+    let b = ArrayId(1);
+    let index = || Expr::load(b, Expr::var(0));
+    let value = || {
+        Expr::load(a, Expr::load(b, Expr::var(0)))
+            .mul(Expr::lit(2))
+            .add(Expr::lit(1))
+    };
+    let guard = Expr::bin(
+        BinOp::Eq,
+        Expr::bin(BinOp::Rem, Expr::var(0), Expr::lit(2)),
+        Expr::lit(0),
+    );
+    let spec = KernelSpec::new(
+        "pinned_guarded_indirect",
+        vec![LoopLevel::upto(6)],
+        vec![
+            ArrayDecl::zeroed("a", 12),
+            ArrayDecl::with_values("b", vec![-1, 0, 0, 3, -3, 0, 2, -1, 1, 3, 0, 0]),
+        ],
+        vec![
+            Stmt::guarded(a, index(), value(), guard),
+            Stmt::store(a, index(), value()),
+        ],
+    )
+    .expect("pinned spec validates");
+    oracle_must_pass(&spec);
+}
+
+/// Second `properties.proptest-regressions` entry: two opaque-addressed
+/// read-modify-write stores with different hash seeds into the same array,
+/// so collisions are data-dependent and iteration-crossing.
+#[test]
+fn pinned_opaque_rmw_collision_pair() {
+    let b = ArrayId(1);
+    let rmw = |f: OpaqueFn| {
+        Stmt::store(
+            b,
+            Expr::var(0).opaque(f),
+            Expr::load(b, Expr::var(0).opaque(f)).add(Expr::var(0)),
+        )
+    };
+    let spec = KernelSpec::new(
+        "pinned_opaque_rmw",
+        vec![LoopLevel::upto(9)],
+        vec![
+            ArrayDecl::zeroed("a", 12),
+            ArrayDecl::with_values("b", vec![0, -1, 2, 2, 2, -2, 0, 3, -1, 2, 3, 2]),
+        ],
+        vec![rmw(OpaqueFn::new(0, 2)), rmw(OpaqueFn::new(2, 2))],
+    )
+    .expect("pinned spec validates");
+    oracle_must_pass(&spec);
+}

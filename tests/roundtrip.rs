@@ -1,0 +1,87 @@
+//! Text round-trip: `parse(render(k)) == k` (modulo spans) for every stock
+//! kernel and for 256 generator outputs, plus the pinned shrunk reproducer
+//! for the three round-trip bugs the fuzzer surfaced during bring-up
+//! (unparseable `min`/`max`, dropped `depth_q`, opaque-shadowing array
+//! names — see `tests/fuzz_corpus/regress_minmax_depthq.pvk`).
+
+use prevv::ir::parse::parse_kernel;
+use prevv::ir::{pretty, KernelSpec};
+use prevv::kernels::gen::{generate, GenConfig};
+use prevv::kernels::{extra, paper, suite};
+
+/// Renders, re-parses, and asserts semantic equality. `KernelSpec`'s
+/// `PartialEq` already ignores spans but also ignores the depth hint, so
+/// the hint is compared explicitly.
+fn assert_round_trips(spec: &KernelSpec) {
+    let text = pretty::render(spec);
+    let reparsed = parse_kernel(&spec.name, &text)
+        .unwrap_or_else(|e| panic!("{}: rendered text must re-parse: {e}\n{text}", spec.name));
+    assert_eq!(
+        &reparsed, spec,
+        "{}: round-trip changed the kernel",
+        spec.name
+    );
+    assert_eq!(
+        reparsed.depth_hint().map(|(d, _)| d),
+        spec.depth_hint().map(|(d, _)| d),
+        "{}: round-trip changed the depth_q directive",
+        spec.name
+    );
+}
+
+#[test]
+fn stock_kernels_round_trip() {
+    let mut stock = paper::all_default();
+    stock.extend([
+        extra::fig2a(8, (0..8).collect()),
+        extra::fig2b(8, 4),
+        extra::histogram(16, 8, 1),
+        extra::guarded_update(16, 3),
+        extra::serial_reduction(16),
+        extra::overlapped_pairs(16, 2),
+        suite::spmv(8, 4, 1),
+        suite::stencil1d(16, 2, 1),
+        suite::knapsack(6, 8, 1),
+    ]);
+    assert!(stock.len() >= 14, "stock kernel set shrank unexpectedly");
+    for spec in &stock {
+        assert_round_trips(spec);
+    }
+}
+
+#[test]
+fn generated_kernels_round_trip_256() {
+    let cfg = GenConfig::default();
+    for seed in 0..256u64 {
+        assert_round_trips(&generate(seed, &cfg));
+    }
+}
+
+#[test]
+fn pinned_round_trip_reproducer_still_passes() {
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fuzz_corpus/regress_minmax_depthq.pvk"
+    ))
+    .expect("pinned reproducer exists");
+    let spec = parse_kernel("regress_minmax_depthq", &source).expect("reproducer parses");
+    assert_eq!(
+        spec.arrays.len(),
+        2,
+        "h3_8 must parse as an array, not an opaque call"
+    );
+    assert_eq!(spec.depth_hint().map(|(d, _)| d), Some(16));
+    assert_round_trips(&spec);
+
+    // And the full differential oracle must hold on it.
+    let verdict = prevv::diffcheck::check_kernel(&spec, &prevv::diffcheck::DiffOptions::default());
+    assert!(
+        verdict.passed(),
+        "reproducer violates the oracle: {:?}",
+        verdict
+            .failures
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+}
